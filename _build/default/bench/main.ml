@@ -1,0 +1,325 @@
+(* Benchmark harness: regenerates every data figure of the paper plus
+   the simulation validation tables, then times the generators with
+   Bechamel.
+
+     dune exec bench/main.exe                       all series + timings
+     dune exec bench/main.exe fig1 sim-lower        a selection
+     dune exec bench/main.exe -- --no-timing        series only
+
+   Experiments (see DESIGN.md section 4):
+     fig1        lower bound h vs c (this paper vs [4] vs trivial)
+     fig2        lower bound h vs n (c = 100, M = 256n)
+     fig3        upper bound vs c (Theorem 2 vs prior best)
+     sim-lower   measured HS(A, PF)/M vs Theorem 1 h, per c
+     sim-upper   measured HS(A, PR)/M vs Robson's bound, per n;
+                 upper-bound managers vs their guarantees
+     sim-average random-workload fragmentation per manager
+     sim-fig1    measured waste-vs-c curve (the simulated Figure 1)
+     ablation    design-choice ablations A1-A4 (see EXPERIMENTS.md)
+*)
+
+open Pc_core
+open Bechamel
+
+let line fmt = Fmt.pr (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                           *)
+
+let fig1_series () =
+  List.map
+    (fun c ->
+      let { Pc.Bounds.Params.m; n; _ } = Pc.Bounds.Params.fig1 ~c in
+      ( c,
+        Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c,
+        Pc.Bounds.Bendersky_petrank.waste_factor ~m ~n ~c ))
+    Pc.Bounds.Params.fig1_cs
+
+let fig1 () =
+  line "=== Figure 1: lower bound on the waste factor h vs c ===";
+  line
+    "    (M = 256MB, n = 1MB; paper anchors: ~2.0 at c=10, ~3.15 at c=50, \
+     ~3.5 at c=100)";
+  line "%6s  %12s  %18s  %8s" "c" "this paper" "Bendersky-Petrank" "trivial";
+  List.iter
+    (fun (c, ours, bp) -> line "%6.0f  %12.3f  %18.3f  %8.1f" c ours bp 1.0)
+    (fig1_series ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                           *)
+
+let fig2_series () =
+  List.map
+    (fun n ->
+      let { Pc.Bounds.Params.m; n; c } = Pc.Bounds.Params.fig2 ~n in
+      (n, Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c))
+    Pc.Bounds.Params.fig2_ns
+
+let fig2 () =
+  line "=== Figure 2: lower bound on the waste factor h vs n ===";
+  line "    (c = 100, M = 256n)";
+  line "%10s  %10s" "n" "h";
+  List.iter
+    (fun (n, h) -> line "%10s  %10.3f" (Fmt.str "%a" Pc.Word.pp_count n) h)
+    (fig2_series ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                           *)
+
+let fig3_series () =
+  List.filter_map
+    (fun c ->
+      let { Pc.Bounds.Params.m; n; _ } = Pc.Bounds.Params.fig3 ~c in
+      if Pc.Bounds.Theorem2.applicable ~n ~c then
+        Some
+          ( c,
+            Pc.Bounds.Theorem2.waste_factor ~m ~n ~c,
+            Pc.Bounds.Theorem2.prior_best ~m ~n ~c /. float_of_int m )
+      else None)
+    Pc.Bounds.Params.fig3_cs
+
+let fig3 () =
+  line "=== Figure 3: upper bound on the waste factor vs c ===";
+  line "    (M = 256MB, n = 1MB; reconstruction — see EXPERIMENTS.md)";
+  line "%6s  %12s  %12s  %12s" "c" "Theorem 2" "prior best" "improvement";
+  List.iter
+    (fun (c, t2, prior) ->
+      line "%6.0f  %12.3f  %12.3f  %11.1f%%" c t2 prior
+        (100.0 *. (prior -. t2) /. prior))
+    (fig3_series ())
+
+(* ------------------------------------------------------------------ *)
+(* Table S1: PF vs c-partial managers, measured vs theory             *)
+
+let sim_lower_point ~m ~n ~manager c =
+  let r = Pc.run_pf ~m ~n ~c ~manager () in
+  (r.config.ell, Float.max r.config.h 1.0, r.outcome)
+
+let sim_lower ?(m = 1 lsl 16) ?(n = 1 lsl 8) () =
+  line "=== Table S1: measured HS(A, PF)/M vs Theorem 1 (M=%d, n=%d) ===" m n;
+  line "    (theory: no c-partial manager can stay below h at scale)";
+  line "%6s %4s %10s | %12s %12s %10s" "c" "l" "theory h" "compacting"
+    "improved-ac" "first-fit";
+  List.iter
+    (fun c ->
+      let ell, h, o1 = sim_lower_point ~m ~n ~manager:"compacting" c in
+      let _, _, o2 = sim_lower_point ~m ~n ~manager:"improved-ac" c in
+      let _, _, o3 = sim_lower_point ~m ~n ~manager:"first-fit" c in
+      line "%6.0f %4d %10.3f | %12.3f %12.3f %10.3f" c ell h o1.hs_over_m
+        o2.hs_over_m o3.hs_over_m)
+    [ 8.0; 16.0; 32.0; 64.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table S2: Robson's PR vs managers, measured vs matching bound      *)
+
+let sim_upper ?(m = 1 lsl 14) () =
+  line "=== Table S2: measured HS(A, PR)/M vs Robson's matching bound ===";
+  line "    (every non-moving manager must be >= the bound; A_o meets it)";
+  line "%8s %10s | %10s %12s %10s %10s" "n" "bound" "first-fit" "aligned-fit"
+    "buddy" "best-fit";
+  List.iter
+    (fun n ->
+      let bound = Pc.Bounds.Robson.waste_factor_pow2 ~m ~n in
+      let hs key = (Pc.run_robson ~m ~n ~manager:key ()).outcome.hs_over_m in
+      line "%8d %10.3f | %10.3f %12.3f %10.3f %10.3f" n bound (hs "first-fit")
+        (hs "aligned-fit") (hs "buddy") (hs "best-fit"))
+    [ 1 lsl 4; 1 lsl 6; 1 lsl 8 ];
+  line "";
+  line "    upper-bound managers vs their guarantees (PF workload, c = 8):";
+  let n = 1 lsl 6 in
+  let _cfg, program = Pc.Pf.program ~m ~n ~c:8.0 () in
+  let o =
+    Pc.Runner.run ~c:8.0 ~program
+      ~manager:(Pc.Managers.construct_exn "bp-simple")
+      ()
+  in
+  line "    bp-simple: HS/M = %.3f <= (c+1) = %.1f  [%s]" o.hs_over_m 9.0
+    (if o.hs_over_m <= 9.0 then "ok" else "VIOLATED");
+  (* Theorem 2's side condition needs c > log(n)/2 = 3: report the
+     Theorem-2-inspired manager against the (reconstructed) bound. At
+     simulation scale the bound is far from tight — reported for
+     completeness, not asserted. *)
+  let c2 = 8.0 in
+  let _cfg, program = Pc.Pf.program ~m ~n ~c:c2 () in
+  let o2 =
+    Pc.Runner.run ~c:c2 ~program
+      ~manager:(Pc.Managers.construct_exn "improved-ac")
+      ()
+  in
+  line "    improved-ac: HS/M = %.3f (Theorem 2 reconstruction: %.3f)"
+    o2.hs_over_m
+    (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c:c2)
+
+(* ------------------------------------------------------------------ *)
+(* Table S3: random workloads — the average case                      *)
+
+let sim_average ?(m = 1 lsl 14) ?(churn = 20_000) () =
+  line "=== Table S3: random churn (M=%d): fragmentation by manager ===" m;
+  line "    (average case — far from the adversarial worst case)";
+  line "%-12s %10s %10s %10s" "manager" "HS/M" "HS/live" "moved";
+  List.iter
+    (fun (e : Pc.Managers.entry) ->
+      let program =
+        Pc.Random_workload.program ~seed:7 ~churn ~m
+          ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = 6 })
+          ~target_live:(m / 2) ()
+      in
+      let o = Pc.Runner.run ~c:8.0 ~program ~manager:(e.construct ()) () in
+      line "%-12s %10.3f %10.3f %10d" e.key o.hs_over_m
+        (float_of_int o.hs /. float_of_int (max 1 o.final_live))
+        o.moved)
+    Pc.Managers.entries
+
+(* ------------------------------------------------------------------ *)
+(* Simulated Figure 1: the lower-bound curve, measured               *)
+
+let sim_fig1 ?(m = 1 lsl 15) ?(n = 1 lsl 7) () =
+  line "=== Simulated Figure 1: measured waste vs c (M=%d, n=%d) ===" m n;
+  line
+    "    (best = the smallest HS/M any of our c-partial managers achieves \
+     against PF; theory says best >= h)";
+  line "%6s %10s %10s %14s" "c" "theory h" "best" "best manager";
+  List.iter
+    (fun c ->
+      let candidates =
+        List.filter_map
+          (fun key ->
+            match Pc.run_pf ~m ~n ~c ~manager:key () with
+            | r -> Some (r.outcome.hs_over_m, key)
+            | exception Invalid_argument _ -> None)
+          [ "compacting"; "improved-ac"; "sliding"; "bp-simple" ]
+      in
+      let best, key = List.fold_left min (Float.infinity, "-") candidates in
+      line "%6g %10.3f %10.3f %14s" c
+        (Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c)
+        best key)
+    [ 6.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0; 64.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: how much each design choice of P_F contributes          *)
+
+let ablation ?(m = 1 lsl 15) ?(n = 1 lsl 7) () =
+  let run ?ell ?stage1_steps ?maintain_density c =
+    let _, program =
+      Pc.Pf.program ?ell ?stage1_steps ?maintain_density ~m ~n ~c ()
+    in
+    let o =
+      Pc.Runner.run ~c ~program
+        ~manager:(Pc.Managers.construct_exn "compacting")
+        ()
+    in
+    o.hs_over_m
+  in
+  line "=== Ablation A1: the density exponent l (c = 32, M=%d, n=%d) ===" m n;
+  line "    (Theorem 1 optimises l; the empirical optimum should agree)";
+  let best_ell =
+    match Pc.Bounds.Cohen_petrank.best ~m ~n ~c:32.0 with
+    | Some { ell; _ } -> ell
+    | None -> 0
+  in
+  List.iter
+    (fun ell ->
+      match Pc.Bounds.Cohen_petrank.h ~m ~n ~c:32.0 ~ell with
+      | Some h ->
+          line "    l=%d%s  theory h=%6.3f  measured HS/M=%6.3f" ell
+            (if ell = best_ell then "*" else " ")
+            (Float.max h 1.0) (run ~ell 32.0)
+      | None -> line "    l=%d   (invalid at these parameters)" ell)
+    [ 1; 2 ];
+  line "";
+  line "=== Ablation A2: stage 2 density maintenance (line 13) ===";
+  List.iter
+    (fun c ->
+      line "    c=%-3g  with density: %6.3f   without: %6.3f" c (run c)
+        (run ~maintain_density:false c))
+    [ 16.0; 32.0 ];
+  line "";
+  line "=== Ablation A3: the Robson stage (stage 1) ===";
+  List.iter
+    (fun c ->
+      line "    c=%-3g  full stage 1: %6.3f   unit fill only: %6.3f" c
+        (run c) (run ~stage1_steps:0 c))
+    [ 16.0; 32.0 ];
+  line "";
+  line "=== Ablation A4: which manager resists P_F best (c = 16) ===";
+  line "    (Theorem 1 floors them all; smaller HS/M = closer to the floor)";
+  let floor16 = Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c:16.0 in
+  line "    theory floor h = %.3f" floor16;
+  List.iter
+    (fun (e : Pc.Managers.entry) ->
+      if e.moving then begin
+        let _, program = Pc.Pf.program ~m ~n ~c:16.0 () in
+        let o = Pc.Runner.run ~c:16.0 ~program ~manager:(e.construct ()) () in
+        line "    %-12s HS/M=%6.3f  moved=%-7d %s" e.key o.hs_over_m o.moved
+          (if o.hs_over_m >= floor16 -. 0.02 then "(floor respected)"
+           else "(BELOW FLOOR?)")
+      end)
+    Pc.Managers.entries
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timings: one Test per experiment generator                *)
+
+let tests () =
+  [
+    Test.make ~name:"fig1-series" (Staged.stage fig1_series);
+    Test.make ~name:"fig2-series" (Staged.stage fig2_series);
+    Test.make ~name:"fig3-series" (Staged.stage fig3_series);
+    Test.make ~name:"sim-lower-point-c16"
+      (Staged.stage (fun () ->
+           sim_lower_point ~m:(1 lsl 13) ~n:(1 lsl 6) ~manager:"compacting"
+             16.0));
+    Test.make ~name:"sim-upper-robson"
+      (Staged.stage (fun () ->
+           Pc.run_robson ~m:(1 lsl 12) ~n:(1 lsl 6) ~manager:"first-fit" ()));
+    Test.make ~name:"sim-average-churn"
+      (Staged.stage (fun () ->
+           let program =
+             Pc.Random_workload.program ~seed:7 ~churn:1000 ~m:(1 lsl 12)
+               ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = 5 })
+               ~target_live:(1 lsl 11) ()
+           in
+           Pc.Runner.run ~program
+             ~manager:(Pc.Managers.construct_exn "first-fit")
+             ()));
+  ]
+
+let timings () =
+  line "";
+  line "=== Bechamel timings (OLS estimate of ns/run) ===";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"pc" (tests ()))
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some (est :: _) -> (name, est) :: acc
+        | Some [] | None -> (name, Float.nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> line "%-28s %14.0f ns/run" name est) rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let no_timing = List.mem "--no-timing" args in
+  let selected = List.filter (fun a -> a <> "--no-timing") args in
+  let wants name = match selected with [] -> true | sel -> List.mem name sel in
+  if wants "fig1" then fig1 ();
+  if wants "fig2" then fig2 ();
+  if wants "fig3" then fig3 ();
+  if wants "sim-lower" then sim_lower ();
+  if wants "sim-upper" then sim_upper ();
+  if wants "sim-average" then sim_average ();
+  if wants "sim-fig1" then sim_fig1 ();
+  if wants "ablation" then ablation ();
+  if (not no_timing) && (selected = [] || wants "timings") then timings ()

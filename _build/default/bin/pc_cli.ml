@@ -1,0 +1,398 @@
+(* pc — command-line interface to the partial-compaction bounds and
+   simulators.
+
+     pc bounds   -m 256M -n 1M -c 50          closed-form bounds
+     pc figure   1|2|3                        CSV series of a figure
+     pc simulate --program pf --manager compacting -m 16K -n 64 -c 8
+     pc diagram  -m 256 -n 16                 ASCII heap rendering
+     pc managers                              list known managers
+*)
+
+open Pc_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                            *)
+
+(* Sizes accept K/M/G suffixes: "256M" = 256 * 2^20 words. *)
+let size_conv =
+  let parse s =
+    let len = String.length s in
+    if len = 0 then Error (`Msg "empty size")
+    else begin
+      let mult, digits =
+        match s.[len - 1] with
+        | 'k' | 'K' -> (1 lsl 10, String.sub s 0 (len - 1))
+        | 'm' | 'M' -> (1 lsl 20, String.sub s 0 (len - 1))
+        | 'g' | 'G' -> (1 lsl 30, String.sub s 0 (len - 1))
+        | _ -> (1, s)
+      in
+      match int_of_string_opt digits with
+      | Some v when v > 0 -> Ok (v * mult)
+      | Some _ | None -> Error (`Msg ("bad size: " ^ s))
+    end
+  in
+  let print ppf v = Pc.Word.pp_count ppf v in
+  Arg.conv (parse, print)
+
+let m_arg =
+  Arg.(
+    value
+    & opt size_conv (256 * Pc.Bounds.Params.mb)
+    & info [ "m" ] ~docv:"WORDS" ~doc:"Live-space bound M (K/M/G suffixes).")
+
+let n_arg =
+  Arg.(
+    value
+    & opt size_conv Pc.Bounds.Params.mb
+    & info [ "n" ] ~docv:"WORDS"
+        ~doc:"Largest object size n, a power of two (K/M/G suffixes).")
+
+let c_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "c" ] ~docv:"C" ~doc:"Compaction bound: at most 1/c of allocated words may be moved.")
+
+let manager_arg =
+  let keys = String.concat ", " Pc.Managers.keys in
+  Arg.(
+    value & opt string "compacting"
+    & info [ "manager" ] ~docv:"NAME" ~doc:("Memory manager: " ^ keys ^ "."))
+
+(* ------------------------------------------------------------------ *)
+(* pc bounds                                                          *)
+
+let bounds_cmd =
+  let run m n c =
+    let mf = float_of_int m in
+    Fmt.pr "parameters: M=%a n=%a c=%g@." Pc.Word.pp_count m Pc.Word.pp_count
+      n c;
+    Fmt.pr "@.lower bounds (no manager can beat these):@.";
+    Fmt.pr "  Robson (no compaction)      HS >= %.3f x M@."
+      (Pc.Bounds.Robson.waste_factor_pow2 ~m ~n);
+    (match Pc.Bounds.Cohen_petrank.best ~m ~n ~c with
+    | Some { ell; h } ->
+        Fmt.pr "  Theorem 1 (this paper)      HS >= %.3f x M   (l*=%d)@."
+          (Float.max h 1.0) ell
+    | None ->
+        Fmt.pr "  Theorem 1 (this paper)      HS >= 1.000 x M   (no valid l)@.");
+    Fmt.pr "  Bendersky-Petrank [4]       HS >= %.3f x M@."
+      (Pc.Bounds.Bendersky_petrank.waste_factor ~m ~n ~c);
+    Fmt.pr "@.upper bounds (achievable by some manager):@.";
+    Fmt.pr "  Bendersky-Petrank (c+1)M    HS <= %.3f x M@."
+      (Pc.Bounds.Bendersky_petrank.upper_bound ~m ~c /. mf);
+    Fmt.pr "  Robson x2 (no compaction)   HS <= %.3f x M@."
+      (Pc.Bounds.Robson.upper_bound_general ~m ~n /. mf);
+    if Pc.Bounds.Theorem2.applicable ~n ~c then
+      Fmt.pr "  Theorem 2 (this paper)      HS <= %.3f x M@."
+        (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the closed-form bounds for M, n, c.")
+    Term.(const run $ m_arg $ n_arg $ c_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc figure                                                          *)
+
+let figure_cmd =
+  let run which =
+    match which with
+    | 1 ->
+        Fmt.pr "c,cohen_petrank,bendersky_petrank,trivial@.";
+        List.iter
+          (fun c ->
+            let { Pc.Bounds.Params.m; n; _ } = Pc.Bounds.Params.fig1 ~c in
+            Fmt.pr "%g,%.4f,%.4f,1.0@." c
+              (Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c)
+              (Pc.Bounds.Bendersky_petrank.waste_factor ~m ~n ~c))
+          Pc.Bounds.Params.fig1_cs
+    | 2 ->
+        Fmt.pr "n,cohen_petrank@.";
+        List.iter
+          (fun n ->
+            let { Pc.Bounds.Params.m; n; c } = Pc.Bounds.Params.fig2 ~n in
+            Fmt.pr "%d,%.4f@." n (Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c))
+          Pc.Bounds.Params.fig2_ns
+    | 3 ->
+        Fmt.pr "c,theorem2,prior_best@.";
+        List.iter
+          (fun c ->
+            let { Pc.Bounds.Params.m; n; _ } = Pc.Bounds.Params.fig3 ~c in
+            if Pc.Bounds.Theorem2.applicable ~n ~c then
+              Fmt.pr "%g,%.4f,%.4f@." c
+                (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c)
+                (Pc.Bounds.Theorem2.prior_best ~m ~n ~c /. float_of_int m))
+          Pc.Bounds.Params.fig3_cs
+    | k -> Fmt.epr "unknown figure %d (expected 1, 2 or 3)@." k
+  in
+  let which =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"FIGURE")
+  in
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:"Print a paper figure's series as CSV (figures 1, 2, 3).")
+    Term.(const run $ which)
+
+(* ------------------------------------------------------------------ *)
+(* pc simulate                                                        *)
+
+let simulate_cmd =
+  let run program manager m n c seed =
+    let mgr = Pc.Managers.construct_exn manager in
+    match program with
+    | "pf" ->
+        let cfg, prog = Pc.Pf.program ~m ~n ~c () in
+        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        Fmt.pr "%a@." Pc.Runner.pp_outcome o;
+        Fmt.pr "theory: h=%.3f (l=%d) => HS/M should reach %.3f at scale@."
+          cfg.h cfg.ell (Float.max cfg.h 1.0)
+    | "robson" ->
+        let prog = Pc.Robson_pr.program ~m ~n () in
+        let o = Pc.Runner.run ~program:prog ~manager:mgr () in
+        Fmt.pr "%a@." Pc.Runner.pp_outcome o;
+        Fmt.pr "theory (non-moving managers): HS/M >= %.3f@."
+          (Pc.Bounds.Robson.waste_factor_pow2 ~m ~n)
+    | "random" ->
+        let prog =
+          Pc.Random_workload.program ~seed ~m
+            ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = Pc.Word.log2_floor n })
+            ~target_live:(m / 2) ()
+        in
+        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+    | "pw" ->
+        let prog = Pc.Pw.program ~m ~n () in
+        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+    | "sawtooth" ->
+        let prog = Pc.Sawtooth.program ~m ~n () in
+        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+    | p when String.length p > 7 && String.sub p 0 7 = "script:" -> (
+        (* e.g. --program "script:a x 16; a y 8; f x; a z 4" *)
+        let text = String.sub p 7 (String.length p - 7) in
+        match Pc.Script.parse text with
+        | actions ->
+            let prog = Pc.Script.program actions in
+            let o = Pc.Runner.run ~program:prog ~manager:mgr () in
+            Fmt.pr "%a@." Pc.Runner.pp_outcome o
+        | exception Pc.Script.Bad_script msg ->
+            Fmt.epr "bad script: %s@." msg)
+    | p ->
+        Fmt.epr
+          "unknown program %s (expected pf, robson, pw, sawtooth, random, \
+           script:...)@."
+          p
+  in
+  let program_arg =
+    Arg.(
+      value & opt string "pf"
+      & info [ "program" ] ~docv:"NAME"
+          ~doc:
+            "Workload: pf, robson, pw, sawtooth, random, or \
+             'script:a x 16; f x; ...'.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let m_small =
+    Arg.(
+      value & opt size_conv (1 lsl 14)
+      & info [ "m" ] ~docv:"WORDS" ~doc:"Live-space bound M.")
+  in
+  let n_small =
+    Arg.(
+      value & opt size_conv (1 lsl 6)
+      & info [ "n" ] ~docv:"WORDS" ~doc:"Largest object size n (power of two).")
+  in
+  let c_small =
+    Arg.(value & opt float 8.0 & info [ "c" ] ~docv:"C" ~doc:"Compaction bound.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run an adversary or random workload against a manager.")
+    Term.(
+      const run $ program_arg $ manager_arg $ m_small $ n_small $ c_small
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc diagram                                                         *)
+
+let diagram_cmd =
+  let run m n manager =
+    let mgr = Pc.Managers.construct_exn manager in
+    let program = Pc.Robson_pr.program ~m ~n () in
+    let ctx = Pc.Ctx.create ~live_bound:m () in
+    let driver = Pc.Driver.create ctx mgr in
+    Pc.Program.run program driver;
+    let heap = Pc.Ctx.heap ctx in
+    Fmt.pr "Robson's P_R vs %s (M=%d, n=%d): HS/M=%.3f@." manager m n
+      (float_of_int (Pc.Heap.high_water heap) /. float_of_int m);
+    Fmt.pr "%s@."
+      (Pc.Layout.render
+         ~config:
+           {
+             Pc.Layout.words_per_cell = max 1 (Pc.Heap.high_water heap / 4096);
+             cells_per_row = 64;
+             chunk_words = Some n;
+           }
+         heap)
+  in
+  let m_small =
+    Arg.(
+      value & opt size_conv 256
+      & info [ "m" ] ~docv:"WORDS" ~doc:"Live-space bound M.")
+  in
+  let n_small =
+    Arg.(
+      value & opt size_conv 16
+      & info [ "n" ] ~docv:"WORDS" ~doc:"Largest object size n (power of two).")
+  in
+  Cmd.v
+    (Cmd.info "diagram"
+       ~doc:"Render the heap Robson's adversary leaves behind, as ASCII.")
+    Term.(const run $ m_small $ n_small $ manager_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc trace                                                           *)
+
+let trace_cmd =
+  let run program manager m n c stats_only =
+    let mgr = Pc.Managers.construct_exn manager in
+    let prog =
+      match program with
+      | "pf" -> snd (Pc.Pf.program ~m ~n ~c ())
+      | "robson" -> Pc.Robson_pr.program ~m ~n ()
+      | "pw" -> Pc.Pw.program ~m ~n ()
+      | "random" ->
+          Pc.Random_workload.program ~m
+            ~dist:
+              (Pc.Random_workload.Pow2
+                 { lo_log = 0; hi_log = Pc.Word.log2_floor n })
+            ~target_live:(m / 2) ()
+      | p -> Fmt.invalid_arg "unknown program %s" p
+    in
+    let ctx = Pc.Ctx.create ~budget:(Pc.Budget.create ~c) ~live_bound:m () in
+    let trace = Pc.Trace.create () in
+    Pc.Trace.record trace (Pc.Ctx.heap ctx);
+    let driver = Pc.Driver.create ctx mgr in
+    Pc.Program.run prog driver;
+    if stats_only then Fmt.pr "%a@." Pc.Trace.pp_stats (Pc.Trace.stats trace)
+    else print_string (Pc.Trace.to_string trace)
+  in
+  let program_arg =
+    Arg.(
+      value & opt string "robson"
+      & info [ "program" ] ~docv:"NAME"
+          ~doc:"Workload: pf, robson, pw or random.")
+  in
+  let m_small =
+    Arg.(
+      value & opt size_conv (1 lsl 10)
+      & info [ "m" ] ~docv:"WORDS" ~doc:"Live-space bound M.")
+  in
+  let n_small =
+    Arg.(
+      value & opt size_conv (1 lsl 5)
+      & info [ "n" ] ~docv:"WORDS" ~doc:"Largest object size n (power of two).")
+  in
+  let c_small =
+    Arg.(value & opt float 8.0 & info [ "c" ] ~docv:"C" ~doc:"Compaction bound.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print aggregate statistics instead of events.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Dump a replayable heap event trace (or its statistics) of a \
+          workload against a manager.")
+    Term.(
+      const run $ program_arg $ manager_arg $ m_small $ n_small $ c_small
+      $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc sweep                                                           *)
+
+let sweep_cmd =
+  let run manager m n cs =
+    Fmt.pr "%6s %4s %10s %10s %8s %10s@." "c" "l" "theory h" "HS/M" "moved"
+      "compliant";
+    List.iter
+      (fun c ->
+        match Pc.Pf.config ~m ~n ~c () with
+        | exception Invalid_argument msg -> Fmt.epr "c=%g: %s@." c msg
+        | cfg ->
+            let r = Pc.run_pf ~m ~n ~c ~manager () in
+            Fmt.pr "%6g %4d %10.3f %10.3f %8d %10b@." c cfg.ell
+              (Float.max cfg.h 1.0) r.outcome.hs_over_m r.outcome.moved
+              r.outcome.compliant)
+      cs
+  in
+  let m_small =
+    Arg.(
+      value & opt size_conv (1 lsl 14)
+      & info [ "m" ] ~docv:"WORDS" ~doc:"Live-space bound M.")
+  in
+  let n_small =
+    Arg.(
+      value & opt size_conv (1 lsl 7)
+      & info [ "n" ] ~docv:"WORDS" ~doc:"Largest object size n (power of two).")
+  in
+  let cs_arg =
+    Arg.(
+      value
+      & opt (list float) [ 8.0; 16.0; 32.0; 64.0 ]
+      & info [ "cs" ] ~docv:"C,C,..." ~doc:"Compaction bounds to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep PF over compaction bounds against one manager (Table S1).")
+    Term.(const run $ manager_arg $ m_small $ n_small $ cs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc managers                                                        *)
+
+let managers_cmd =
+  let run () =
+    List.iter
+      (fun (e : Pc.Managers.entry) ->
+        Fmt.pr "%-12s %-7s %s@." e.key
+          (if e.moving then "moving" else "static")
+          e.summary)
+      Pc.Managers.entries
+  in
+  Cmd.v
+    (Cmd.info "managers" ~doc:"List the available memory managers.")
+    Term.(const run $ const ())
+
+let () =
+  (* -v / -vv on any subcommand raises the log level (info / debug). *)
+  let verbosity =
+    Array.fold_left
+      (fun acc a -> if a = "-v" then acc + 1 else acc)
+      0 Sys.argv
+  in
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level
+    (match verbosity with
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug);
+  let argv = Array.of_list (List.filter (fun a -> a <> "-v") (Array.to_list Sys.argv)) in
+  let doc = "bounds and simulators for partial heap compaction (PLDI'13)" in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group
+          (Cmd.info "pc" ~version:"1.0.0" ~doc)
+          [
+            bounds_cmd;
+            figure_cmd;
+            simulate_cmd;
+            sweep_cmd;
+            trace_cmd;
+            diagram_cmd;
+            managers_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Fmt List Pc Pc_core

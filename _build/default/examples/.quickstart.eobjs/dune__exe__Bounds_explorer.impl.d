@@ -1,0 +1,1 @@
+examples/bounds_explorer.ml: Array Fmt List Pc Pc_core Sys

@@ -1,0 +1,1 @@
+examples/bounds_explorer.mli:

@@ -1,0 +1,1 @@
+examples/fragmentation_ladder.ml: Fmt Pc Pc_core

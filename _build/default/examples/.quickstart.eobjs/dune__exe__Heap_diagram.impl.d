@@ -1,0 +1,1 @@
+examples/heap_diagram.ml: Fmt Pc Pc_core

@@ -1,0 +1,1 @@
+examples/rt_heap_sizing.ml: Array Fmt List Pc Pc_core Sys

@@ -1,0 +1,52 @@
+(* Bounds explorer: prints the data behind the paper's three figures
+   for any parameter setting. Run with:
+
+     dune exec examples/bounds_explorer.exe -- [M-megabytes] [n-kilobytes]
+
+   Defaults to the paper's M = 256MB, n = 1MB.
+*)
+
+open Pc_core
+
+let () =
+  let m_mb = try int_of_string Sys.argv.(1) with _ -> 256 in
+  let n_kb = try int_of_string Sys.argv.(2) with _ -> 1024 in
+  let m = m_mb * Pc.Bounds.Params.mb and n = n_kb * Pc.Bounds.Params.kb in
+  Fmt.pr "parameters: M = %dMB, n = %dKB (%a words each)@.@." m_mb n_kb
+    Pc.Word.pp_count m;
+
+  Fmt.pr "=== Figure 1: lower bound vs compaction budget c ===@.";
+  Fmt.pr "%6s  %10s  %6s  %14s  %10s@." "c" "this paper" "ell*" "Bendersky-P."
+    "trivial";
+  List.iter
+    (fun c ->
+      let ours = Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c in
+      let ell =
+        match Pc.Bounds.Cohen_petrank.best ~m ~n ~c with
+        | Some { ell; _ } -> string_of_int ell
+        | None -> "-"
+      in
+      let bp = Pc.Bounds.Bendersky_petrank.waste_factor ~m ~n ~c in
+      Fmt.pr "%6.0f  %10.3f  %6s  %14.3f  %10.1f@." c ours ell bp 1.0)
+    Pc.Bounds.Params.fig1_cs;
+
+  Fmt.pr "@.=== Figure 2: lower bound vs largest object size n (c=100, M=256n) ===@.";
+  Fmt.pr "%10s  %10s@." "n" "h";
+  List.iter
+    (fun n ->
+      let m = 256 * n in
+      Fmt.pr "%10s  %10.3f@."
+        (Fmt.str "%a" Pc.Word.pp_count n)
+        (Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c:100.0))
+    Pc.Bounds.Params.fig2_ns;
+
+  Fmt.pr "@.=== Figure 3: upper bound vs c ===@.";
+  Fmt.pr "%6s  %12s  %12s  %12s@." "c" "Theorem 2" "prior best" "improvement";
+  List.iter
+    (fun c ->
+      if Pc.Bounds.Theorem2.applicable ~n ~c then
+        Fmt.pr "%6.0f  %12.2f  %12.2f  %11.1f%%@." c
+          (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c)
+          (Pc.Bounds.Theorem2.prior_best ~m ~n ~c /. float_of_int m)
+          (100.0 *. Pc.Bounds.Theorem2.improvement ~m ~n ~c))
+    Pc.Bounds.Params.fig3_cs

@@ -1,0 +1,51 @@
+(* The fragmentation ladder: how much heap the same M of live data
+   costs, from benign workloads to the paper's adversary.
+
+   Random churn barely fragments (which is why production runtimes get
+   away with partial compaction); sawtooth phases hurt a little; the
+   chunk-pinning adversary PW and Robson's PR force non-moving
+   managers to multiples of M; and Cohen-Petrank's PF keeps hurting
+   even when the manager is allowed to compact 1/c of all allocations.
+   Run with:
+
+     dune exec examples/fragmentation_ladder.exe
+*)
+
+open Pc_core
+
+let m = 1 lsl 12
+let n = 1 lsl 5
+let c = 16.0
+
+let run program manager_key ~budgeted =
+  let manager = Pc.Managers.construct_exn manager_key in
+  let o =
+    if budgeted then Pc.Runner.run ~c ~program ~manager ()
+    else Pc.Runner.run ~program ~manager ()
+  in
+  o.hs_over_m
+
+let () =
+  Fmt.pr "M = %d words, n = %d, c = %g where budgeted@.@." m n c;
+  Fmt.pr "%-28s %12s %18s@." "workload" "first-fit"
+    (Fmt.str "compacting (c=%g)" c);
+  let row name make_program =
+    (* fresh program per run — programs are single-shot *)
+    Fmt.pr "%-28s %12.3f %18.3f@." name
+      (run (make_program ()) "first-fit" ~budgeted:false)
+      (run (make_program ()) "compacting" ~budgeted:true)
+  in
+  row "random churn (live M/2)" (fun () ->
+      Pc.Random_workload.program ~seed:1 ~churn:5_000 ~m
+        ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = 5 })
+        ~target_live:(m / 2) ());
+  row "sawtooth phases" (fun () -> Pc.Sawtooth.program ~m ~n ());
+  row "PW (chunk pinning)" (fun () -> Pc.Pw.program ~m ~n ());
+  row "PR (Robson offsets)" (fun () -> Pc.Robson_pr.program ~m ~n ());
+  row "PF (Cohen-Petrank)" (fun () ->
+      snd (Pc.Pf.program ~m ~n ~c ()));
+  Fmt.pr "@.references: Robson bound %.3f (non-moving floor);@."
+    (Pc.Bounds.Robson.waste_factor_pow2 ~m ~n);
+  Fmt.pr "Theorem 1 floor at c=%g: %.3f (no manager whatsoever can beat it)@."
+    c
+    (Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c)

@@ -1,0 +1,46 @@
+(* Real-time heap sizing: the downstream use the paper's introduction
+   points at. A real-time system must guarantee that allocation never
+   fails; its designer picks a compaction budget c (CPU cost) and must
+   then provision heap memory H. This example answers, for given M and
+   n:
+
+   - what H is *guaranteed* to suffice (upper bounds: Bendersky-
+     Petrank's (c+1)M, Robson without compaction, Theorem 2);
+   - what H can *never* be guaranteed (Theorem 1's lower bound) — the
+     paper's "what you cannot aspire to".
+
+   Run with:
+
+     dune exec examples/rt_heap_sizing.exe -- [M-megabytes] [n-kilobytes]
+*)
+
+open Pc_core
+
+let () =
+  let m_mb = try int_of_string Sys.argv.(1) with _ -> 64 in
+  let n_kb = try int_of_string Sys.argv.(2) with _ -> 256 in
+  let m = m_mb * Pc.Bounds.Params.mb and n = n_kb * Pc.Bounds.Params.kb in
+  let mf = float_of_int m in
+  Fmt.pr "live space M = %dMB, max object n = %dKB@.@." m_mb n_kb;
+  Fmt.pr
+    "%6s | %18s | %34s@." "c" "impossible below" "guaranteed sufficient";
+  Fmt.pr "%6s | %18s | %10s %10s %12s@." "" "(Theorem 1)" "(c+1)M"
+    "Robson x2" "Theorem 2";
+  List.iter
+    (fun c ->
+      let floor_h = Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c in
+      let bp = Pc.Bounds.Bendersky_petrank.upper_bound ~m ~c /. mf in
+      let robson = Pc.Bounds.Robson.upper_bound_general ~m ~n /. mf in
+      let t2 =
+        if Pc.Bounds.Theorem2.applicable ~n ~c then
+          Fmt.str "%.2f x M" (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c)
+        else "n/a"
+      in
+      Fmt.pr "%6.0f | %15.2f xM | %7.2f xM %7.2f xM %12s@." c floor_h bp
+        robson t2)
+    [ 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0 ];
+  Fmt.pr
+    "@.Reading: a heap smaller than the Theorem 1 column cannot be \
+     guaranteed@.for any allocator that compacts at most 1/c of allocated \
+     words —@.provision at least the cheapest \"guaranteed\" column, or \
+     raise the@.compaction budget.@."

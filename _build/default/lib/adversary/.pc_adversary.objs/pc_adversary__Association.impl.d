@@ -1,0 +1,1 @@
+lib/adversary/association.ml: Hashtbl List Oid Option Pc_heap

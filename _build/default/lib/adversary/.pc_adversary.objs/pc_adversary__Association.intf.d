@@ -1,0 +1,1 @@
+lib/adversary/association.mli: Pc_heap

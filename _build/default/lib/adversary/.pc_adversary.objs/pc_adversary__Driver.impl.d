@@ -1,0 +1,1 @@
+lib/adversary/driver.ml: Ctx Heap List Manager Oid Pc_heap Pc_manager

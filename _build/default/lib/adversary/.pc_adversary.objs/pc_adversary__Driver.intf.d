@@ -1,0 +1,1 @@
+lib/adversary/driver.mli: Pc_heap Pc_manager

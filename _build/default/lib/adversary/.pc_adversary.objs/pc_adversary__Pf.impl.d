@@ -1,0 +1,1 @@
+lib/adversary/pf.ml: Association Cohen_petrank Driver Float Fmt Int List Logf Option Pc_bounds Program Queue Robson_steps View

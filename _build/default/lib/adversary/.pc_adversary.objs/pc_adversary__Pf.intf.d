@@ -1,0 +1,1 @@
+lib/adversary/pf.mli: Program

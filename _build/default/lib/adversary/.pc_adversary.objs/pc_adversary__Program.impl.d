@@ -1,0 +1,1 @@
+lib/adversary/program.ml: Driver Fmt

@@ -1,0 +1,1 @@
+lib/adversary/program.mli: Driver Format

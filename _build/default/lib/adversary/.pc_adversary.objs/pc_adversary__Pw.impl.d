@@ -1,0 +1,1 @@
+lib/adversary/pw.ml: Fmt Hashtbl List Pc_bounds Program View

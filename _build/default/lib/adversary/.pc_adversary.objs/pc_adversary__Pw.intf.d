@@ -1,0 +1,1 @@
+lib/adversary/pw.mli: Program

@@ -1,0 +1,1 @@
+lib/adversary/random_workload.ml: Array Driver Fmt Pc_heap Program Random

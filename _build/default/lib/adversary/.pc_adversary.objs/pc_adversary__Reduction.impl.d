@@ -1,0 +1,1 @@
+lib/adversary/reduction.ml: Array Budget Ctx Driver Fmt Heap List Manager Pc_heap Pc_manager Robson_steps View

@@ -1,0 +1,1 @@
+lib/adversary/reduction.mli: Pc_manager

@@ -1,0 +1,1 @@
+lib/adversary/robson_pr.ml: Fmt Pc_bounds Program Robson_steps View

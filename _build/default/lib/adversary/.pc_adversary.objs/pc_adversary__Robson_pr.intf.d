@@ -1,0 +1,1 @@
+lib/adversary/robson_pr.mli: Program

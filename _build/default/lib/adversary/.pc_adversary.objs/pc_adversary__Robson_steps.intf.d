@@ -1,0 +1,1 @@
+lib/adversary/robson_steps.mli: View

@@ -1,0 +1,1 @@
+lib/adversary/runner.ml: Budget Ctx Driver Fmt Heap Logs Manager Pc_heap Pc_manager Program

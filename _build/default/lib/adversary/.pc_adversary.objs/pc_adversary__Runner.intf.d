@@ -1,0 +1,1 @@
+lib/adversary/runner.mli: Format Pc_manager Program

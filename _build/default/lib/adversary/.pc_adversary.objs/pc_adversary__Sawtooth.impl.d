@@ -1,0 +1,1 @@
+lib/adversary/sawtooth.ml: Driver Fmt List Pc_bounds Program Random

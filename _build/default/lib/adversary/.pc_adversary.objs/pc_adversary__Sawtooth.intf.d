@@ -1,0 +1,1 @@
+lib/adversary/sawtooth.mli: Program

@@ -1,0 +1,1 @@
+lib/adversary/script.ml: Driver Fmt Hashtbl List Program String

@@ -1,0 +1,1 @@
+lib/adversary/script.mli: Format Program

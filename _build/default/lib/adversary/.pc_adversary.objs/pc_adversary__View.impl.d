@@ -1,0 +1,1 @@
+lib/adversary/view.ml: Driver List Oid Pc_heap

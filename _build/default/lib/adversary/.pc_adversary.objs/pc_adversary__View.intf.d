@@ -1,0 +1,1 @@
+lib/adversary/view.mli: Driver Pc_heap

@@ -1,0 +1,265 @@
+open Pc_heap
+
+(* The object-to-chunk association maintained by P_F's second stage
+   (Section 4, Figure 4).
+
+   At step i the heap is partitioned into aligned chunks of 2^i words;
+   chunk k covers [k*2^i, (k+1)*2^i). Each chunk carries a set of
+   associated objects — whole objects, or halves of objects whose two
+   halves live on two chunks (Claim 4.15). Association survives both
+   compaction (the entry stays at the old chunk while the object turns
+   into a ghost) and de-allocation-by-migration of halves; it is the
+   program's instrument for keeping every used chunk at density 2^-l,
+   and the analysis' instrument for charging heap words (the potential
+   function u, Definition 4.4, is computed from this structure). *)
+
+type entry = { oid : Oid.t; obj_size : int; half : bool }
+
+let entry_size e = if e.half then e.obj_size / 2 else e.obj_size
+
+type chunk = {
+  mutable entries : entry list;
+  mutable sum : int; (* total entry size *)
+  mutable middle : bool; (* member of the set E (Definition 4.12) *)
+}
+
+type t = {
+  ell : int; (* density exponent: target density 2^-ell *)
+  mutable chunk_log : int; (* current chunk size is 2^chunk_log *)
+  mutable chunks : (int, chunk) Hashtbl.t; (* chunk index -> state *)
+  locs : (int, int list) Hashtbl.t; (* oid as int -> chunk indices *)
+}
+
+let create ~chunk_log ~ell =
+  if ell < 1 then invalid_arg "Association.create: need l >= 1";
+  {
+    ell;
+    chunk_log;
+    chunks = Hashtbl.create 256;
+    locs = Hashtbl.create 256;
+  }
+
+let chunk_log t = t.chunk_log
+let chunk_words t = 1 lsl t.chunk_log
+let ell t = t.ell
+
+let get_chunk t idx =
+  match Hashtbl.find_opt t.chunks idx with
+  | Some ch -> ch
+  | None ->
+      let ch = { entries = []; sum = 0; middle = false } in
+      Hashtbl.add t.chunks idx ch;
+      ch
+
+let find_chunk t idx = Hashtbl.find_opt t.chunks idx
+let sum t idx = match find_chunk t idx with Some ch -> ch.sum | None -> 0
+
+let entries t idx =
+  match find_chunk t idx with Some ch -> ch.entries | None -> []
+
+let is_middle t idx =
+  match find_chunk t idx with Some ch -> ch.middle | None -> false
+
+let locs_of t oid =
+  Option.value ~default:[] (Hashtbl.find_opt t.locs (Oid.to_int oid))
+
+let add_loc t oid idx =
+  Hashtbl.replace t.locs (Oid.to_int oid) (idx :: locs_of t oid)
+
+let remove_loc t oid idx =
+  let rec remove_once = function
+    | [] -> []
+    | x :: rest -> if x = idx then rest else x :: remove_once rest
+  in
+  match remove_once (locs_of t oid) with
+  | [] -> Hashtbl.remove t.locs (Oid.to_int oid)
+  | l -> Hashtbl.replace t.locs (Oid.to_int oid) l
+
+let add_entry t idx e =
+  let ch = get_chunk t idx in
+  ch.entries <- e :: ch.entries;
+  ch.sum <- ch.sum + entry_size e;
+  ch.middle <- false;
+  add_loc t e.oid idx
+
+(* Remove one entry (by oid and half-ness) from a chunk. *)
+let remove_entry t idx (e : entry) =
+  let ch = get_chunk t idx in
+  let rec remove_once = function
+    | [] -> invalid_arg "Association.remove_entry: entry not found"
+    | x :: rest ->
+        if Oid.equal x.oid e.oid && x.half = e.half then rest
+        else x :: remove_once rest
+  in
+  ch.entries <- remove_once ch.entries;
+  ch.sum <- ch.sum - entry_size e;
+  remove_loc t e.oid idx
+
+let assoc_whole t oid ~obj_size ~chunk =
+  add_entry t chunk { oid; obj_size; half = false }
+
+let assoc_halves t oid ~obj_size ~chunk1 ~chunk2 =
+  if chunk1 = chunk2 then assoc_whole t oid ~obj_size ~chunk:chunk1
+  else begin
+    add_entry t chunk1 { oid; obj_size; half = true };
+    add_entry t chunk2 { oid; obj_size; half = true }
+  end
+
+let set_middle t idx =
+  let ch = get_chunk t idx in
+  if ch.entries <> [] then
+    invalid_arg "Association.set_middle: chunk has entries";
+  ch.middle <- true
+
+(* Reset a chunk for reuse by a fresh allocation (Algorithm 1 line
+   14): drop every remaining entry (they are ghosts — a live object
+   associated with a chunk intersects it, and a reused chunk holds no
+   live words). Returns the oids that lost their last entry, i.e. the
+   ghosts that cease to exist. *)
+let reset_chunk t idx =
+  match find_chunk t idx with
+  | None -> []
+  | Some ch ->
+      let vanished =
+        List.filter_map
+          (fun e ->
+            remove_loc t e.oid idx;
+            if locs_of t e.oid = [] then Some e.oid else None)
+          ch.entries
+      in
+      ch.entries <- [];
+      ch.sum <- 0;
+      ch.middle <- false;
+      vanished
+
+(* Migrate a half entry out of [from_idx] to the chunk holding the
+   object's other half (Algorithm 1 line 13: "when a half object is
+   freed, associate it with the chunk that contains the other half").
+   If both halves meet they merge into a whole entry. Returns the
+   destination chunk, or [None] when no other half exists (the object
+   is a ghost whose other chunk was reused): the entry then simply
+   disappears, and the caller should drop the object if this was its
+   last entry. *)
+let migrate_half t ~from_idx (e : entry) =
+  if not e.half then invalid_arg "Association.migrate_half: whole entry";
+  remove_entry t from_idx e;
+  match locs_of t e.oid with
+  | [] -> None
+  | [ other ] ->
+      (* The other half is at [other]: merge into a whole entry. *)
+      remove_entry t other e;
+      add_entry t other { e with half = false };
+      Some other
+  | _ :: _ :: _ ->
+      invalid_arg "Association.migrate_half: more than two locations"
+
+(* Step change (Algorithm 1 line 12): chunk size doubles, pairs of
+   chunks merge, entry sets take unions; two halves of one object
+   landing in the same merged chunk become a whole entry. The middle
+   set E empties (Definition 4.12). *)
+let merge_step t =
+  let merged = Hashtbl.create (Hashtbl.length t.chunks) in
+  let new_locs = Hashtbl.create (Hashtbl.length t.locs) in
+  Hashtbl.iter
+    (fun idx (ch : chunk) ->
+      let nidx = idx / 2 in
+      let nch =
+        match Hashtbl.find_opt merged nidx with
+        | Some nch -> nch
+        | None ->
+            let nch = { entries = []; sum = 0; middle = false } in
+            Hashtbl.add merged nidx nch;
+            nch
+      in
+      List.iter
+        (fun e ->
+          nch.entries <- e :: nch.entries;
+          nch.sum <- nch.sum + entry_size e)
+        ch.entries)
+    t.chunks;
+  (* Merge half-pairs that now share a chunk. *)
+  Hashtbl.iter
+    (fun nidx (nch : chunk) ->
+      let seen = Hashtbl.create 8 in
+      let merged_entries =
+        List.fold_left
+          (fun acc e ->
+            if not e.half then e :: acc
+            else begin
+              let key = Oid.to_int e.oid in
+              match Hashtbl.find_opt seen key with
+              | Some () ->
+                  (* second half of the same object in this chunk *)
+                  Hashtbl.remove seen key;
+                  { e with half = false }
+                  :: List.filter
+                       (fun x ->
+                         not (Oid.equal x.oid e.oid && x.half))
+                       acc
+              | None ->
+                  Hashtbl.add seen key ();
+                  e :: acc
+            end)
+          [] nch.entries
+      in
+      nch.entries <- merged_entries;
+      (* sums are unchanged by half-merging: two halves = one whole *)
+      List.iter
+        (fun e ->
+          let key = Oid.to_int e.oid in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt new_locs key) in
+          Hashtbl.replace new_locs key (nidx :: cur))
+        merged_entries)
+    merged;
+  t.chunks <- merged;
+  Hashtbl.reset t.locs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.locs k v) new_locs;
+  t.chunk_log <- t.chunk_log + 1
+
+let chunk_indices t = Hashtbl.fold (fun idx _ acc -> idx :: acc) t.chunks []
+let chunk_count t = Hashtbl.length t.chunks
+
+(* The potential function u(t) of Definition 4.4:
+   u = sum_D u_D - n/4, with u_D = 2^i for middle chunks and
+   min(2^ell * sum_D, 2^i) otherwise. In the paper n/4 is the largest
+   chunk ever (the last chunk may stick out of the heap); we take the
+   same deduction. *)
+let potential t ~n =
+  let cw = chunk_words t in
+  let total = ref 0 in
+  Hashtbl.iter
+    (fun _ (ch : chunk) ->
+      let ud =
+        if ch.middle then cw
+        else min ((1 lsl t.ell) * ch.sum) cw
+      in
+      total := !total + ud)
+    t.chunks;
+  !total - (n / 4)
+
+let check_invariants t =
+  Hashtbl.iter
+    (fun idx (ch : chunk) ->
+      let s = List.fold_left (fun acc e -> acc + entry_size e) 0 ch.entries in
+      if s <> ch.sum then failwith "Association: chunk sum drift";
+      if ch.middle && ch.entries <> [] then
+        failwith "Association: middle chunk with entries";
+      List.iter
+        (fun e ->
+          if not (List.mem idx (locs_of t e.oid)) then
+            failwith "Association: missing loc back-reference")
+        ch.entries)
+    t.chunks;
+  Hashtbl.iter
+    (fun oid idxs ->
+      if List.length idxs > 2 then failwith "Association: more than 2 locs";
+      List.iter
+        (fun idx ->
+          let present =
+            List.exists
+              (fun e -> Oid.to_int e.oid = oid)
+              (entries t idx)
+          in
+          if not present then failwith "Association: stale loc")
+        idxs)
+    t.locs

@@ -1,0 +1,56 @@
+open Pc_heap
+open Pc_manager
+
+(* The program-facing side of the interaction model of Section 2.1.
+   A program requests allocations and de-allocations through a driver;
+   the driver routes placement decisions to the memory manager,
+   enforces the live-space bound M, and reports the manager's
+   compaction moves back to the program (the model lets the program
+   observe object addresses, which is how the bad programs fragment the
+   heap). *)
+
+type move_note = { oid : Oid.t; src : int; dst : int; size : int }
+
+exception Live_bound_exceeded of { requested : int; live : int; bound : int }
+
+type t = {
+  ctx : Ctx.t;
+  manager : Manager.t;
+  mutable pending : move_note list; (* newest first *)
+}
+
+let create ctx manager =
+  let t = { ctx; manager; pending = [] } in
+  Heap.on_event (Ctx.heap ctx) (function
+    | Heap.Move { oid; size; src; dst } ->
+        t.pending <- { oid; src; dst; size } :: t.pending
+    | Heap.Alloc _ | Heap.Free _ -> ());
+  t
+
+let heap t = Ctx.heap t.ctx
+let ctx t = t.ctx
+let live_bound t = Ctx.live_bound t.ctx
+let live_words t = Heap.live_words (heap t)
+
+(* Allocate [size] words. Returns the new object, its address, and the
+   compaction moves the manager performed while serving the request
+   (oldest first). *)
+let alloc t ~size =
+  if size <= 0 then invalid_arg "Driver.alloc: non-positive size";
+  let live = live_words t in
+  let bound = live_bound t in
+  if live + size > bound then
+    raise (Live_bound_exceeded { requested = size; live; bound });
+  t.pending <- [];
+  let addr = Manager.alloc t.manager t.ctx ~size in
+  let moves = List.rev t.pending in
+  t.pending <- [];
+  let oid = Heap.alloc (heap t) ~addr ~size in
+  (oid, addr, moves)
+
+let free t oid =
+  let o = Heap.get (heap t) oid in
+  Heap.free (heap t) oid;
+  Manager.on_free t.manager t.ctx o
+
+let high_water t = Heap.high_water (heap t)

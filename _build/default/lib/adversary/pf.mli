@@ -1,0 +1,59 @@
+(** The paper's bad program [P_F] (Algorithm 1) — the constructive
+    heart of Theorem 1.
+
+    Stage 1 runs Robson's program hardened with ghosts; stage 2 keeps
+    every chunk of the current partition at density [2{^-ell}] through
+    the {!Association} structure while allocating [x·M] words of
+    4-chunk objects per step. Against any c-partial manager the heap
+    must reach [M·h] (Theorem 1). *)
+
+type observation = {
+  step : int;
+      (** the step index [i], or [2ℓ−1] for the stage-1 snapshot *)
+  potential : int;  (** the paper's [u(t)] at the end of the step *)
+  high_water : int;
+  live_words : int;
+  present_words : int;  (** live + ghost *)
+}
+
+type config = {
+  m : int;
+  n : int;
+  c : float;
+  ell : int;  (** density exponent; chunks kept at density [2{^-ell}] *)
+  h : float;  (** Theorem 1 waste factor for these parameters *)
+  x : float;  (** per-step allocation fraction of [M] (Algorithm 1) *)
+}
+
+val config : ?ell:int -> m:int -> n:int -> c:float -> unit -> config
+(** Resolve parameters; [ell] defaults to the Theorem 1 optimum.
+    Raises [Invalid_argument] unless [M > n], [n] is a power of two,
+    [ell >= 1] and [2·ell + 2 <= log2 n]. *)
+
+exception
+  Audit_failure of {
+    step : int;
+    delta_u : int;
+    floor : int;  (** the Claim 4.16 floor [¾·|o| − 2{^ℓ}·q(o)] *)
+  }
+
+val program :
+  ?ell:int ->
+  ?observe:(observation -> unit) ->
+  ?audit:bool ->
+  ?stage1_steps:int ->
+  ?maintain_density:bool ->
+  m:int ->
+  n:int ->
+  c:float ->
+  unit ->
+  config * Program.t
+(** [observe] fires at the end of every stage-2 step (and once after
+    the stage-1 association is built). [audit] (default false) checks
+    Claim 4.16 at every stage-2 allocation — the potential must grow
+    by at least [¾·|o| − 2{^ℓ}·q(o)] — raising {!Audit_failure}
+    otherwise; expensive, meant for tests.
+
+    [stage1_steps] (default [ell]) and [maintain_density] (default
+    true) deliberately weaken the adversary for ablation studies:
+    fewer Robson steps, or no density floor in stage 2. *)

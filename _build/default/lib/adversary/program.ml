@@ -1,0 +1,23 @@
+(* A program in the paper's sense: a (possibly adaptive) sequence of
+   allocation and de-allocation requests, driven against a memory
+   manager through a Driver. The record carries the P(M, n) class
+   parameters so a runner can size the context and report ratios. *)
+
+type t = {
+  name : string;
+  live_bound : int; (* the paper's M, in words *)
+  max_size : int; (* the paper's n, in words *)
+  run : Driver.t -> unit;
+}
+
+let make ~name ~live_bound ~max_size run =
+  if live_bound <= 0 || max_size <= 0 then
+    invalid_arg "Program.make: non-positive parameter";
+  if max_size > live_bound then invalid_arg "Program.make: need n <= M";
+  { name; live_bound; max_size; run }
+
+let name t = t.name
+let live_bound t = t.live_bound
+let max_size t = t.max_size
+let run t driver = t.run driver
+let pp ppf t = Fmt.string ppf t.name

@@ -1,0 +1,23 @@
+(** A program in the paper's sense: a sequence of allocation and
+    de-allocation requests driven against a memory manager, together
+    with its [P(M, n)] class parameters. *)
+
+type t
+
+val make :
+  name:string ->
+  live_bound:int ->
+  max_size:int ->
+  (Driver.t -> unit) ->
+  t
+(** Raises [Invalid_argument] unless [0 < max_size <= live_bound]. *)
+
+val name : t -> string
+val live_bound : t -> int
+(** The paper's [M]. *)
+
+val max_size : t -> int
+(** The paper's [n]. *)
+
+val run : t -> Driver.t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+(* A Bendersky-Petrank-style adversary (POPL 2011's P_W, summarised in
+   Section 2.2 of the paper). The exact program lives in [4]; this is
+   the natural chunk-pinning reconstruction, distinct from Robson's
+   offset scheme and from P_F's density maintenance:
+
+   step i = 0 .. log n: partition the heap into aligned chunks of
+   2^i words; keep exactly one minimal pinned object per touched chunk
+   and free everything else, then refill the freed budget with objects
+   of size 2^i. A pinned object blocks its whole chunk for the rest of
+   the execution (larger future objects need fully-free chunks), but —
+   unlike P_F — nothing stops a compacting manager from evicting the
+   single cheap pin, which is why [4]'s bound degrades so sharply with
+   c and is vacuous at practical scales (Figure 1). Ghost handling as
+   in P_F's stage 1: moved objects are freed immediately but keep
+   pinning their original chunk for the program's decisions. *)
+
+let program ?steps ~m ~n () =
+  let log_n = Pc_bounds.Logf.log2_exact n in
+  let steps = match steps with Some s -> s | None -> log_n in
+  if steps < 0 || steps > log_n then
+    invalid_arg "Pw.program: steps out of range";
+  Program.make
+    ~name:(Fmt.str "pw[%d]" steps)
+    ~live_bound:m ~max_size:n
+    (fun driver ->
+      let view = View.create driver in
+      (* step 0: fill with unit objects *)
+      for _ = 1 to m do
+        ignore (View.alloc view ~size:1 : View.record)
+      done;
+      for i = 1 to steps do
+        let chunk = 1 lsl i in
+        (* Keep the smallest record per chunk (by original address);
+           free the rest. Records spanning several chunks pin the
+           chunk of their first word. *)
+        let keeper : (int, View.record) Hashtbl.t = Hashtbl.create 1024 in
+        View.iter_present view (fun r ->
+            let idx = r.orig_addr / chunk in
+            match Hashtbl.find_opt keeper idx with
+            | None -> Hashtbl.replace keeper idx r
+            | Some best ->
+                if
+                  r.size < best.size
+                  || (r.size = best.size && r.orig_addr < best.orig_addr)
+                then Hashtbl.replace keeper idx r)
+          ;
+        let doomed =
+          View.fold_present view ~init:[] ~f:(fun acc r ->
+              let idx = r.orig_addr / chunk in
+              match Hashtbl.find_opt keeper idx with
+              | Some best when best == r -> acc
+              | Some _ | None -> r :: acc)
+        in
+        List.iter (fun r -> View.free view r) doomed;
+        (* refill with 2^i-word objects up to the live bound, counting
+           ghosts against the budget as in Algorithm 1 line 7 *)
+        let count = (m - View.present_words view) / chunk in
+        for _ = 1 to count do
+          ignore (View.alloc view ~size:chunk : View.record)
+        done
+      done)

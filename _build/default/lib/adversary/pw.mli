@@ -1,0 +1,10 @@
+(** A Bendersky–Petrank-style chunk-pinning adversary (the paper's
+    [P_W] of Section 2.2, reconstructed — the original is in POPL'11).
+
+    At step [i] it keeps one minimal pinned object per aligned
+    [2{^i}]-word chunk, frees everything else, and refills with
+    [2{^i}]-word objects. Effective against non-moving managers;
+    cheap for compacting ones to defeat — which is the paper's point
+    about [4]'s bound. [steps] defaults to [log2 n]. *)
+
+val program : ?steps:int -> m:int -> n:int -> unit -> Program.t

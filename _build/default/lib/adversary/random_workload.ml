@@ -1,0 +1,71 @@
+(* Randomised allocation/de-allocation churn, for the average-case
+   side of the story: the paper's motivation is that real programs
+   fragment far less than the worst case, so partial compaction is
+   cheap in practice. Deterministic given the seed. *)
+
+type size_dist =
+  | Uniform of { lo : int; hi : int }
+  | Pow2 of { lo_log : int; hi_log : int } (* uniform over exponents *)
+  | Fixed of int
+
+let draw_size rng = function
+  | Uniform { lo; hi } -> lo + Random.State.int rng (hi - lo + 1)
+  | Pow2 { lo_log; hi_log } ->
+      1 lsl (lo_log + Random.State.int rng (hi_log - lo_log + 1))
+  | Fixed s -> s
+
+let max_size_of = function
+  | Uniform { hi; _ } -> hi
+  | Pow2 { hi_log; _ } -> 1 lsl hi_log
+  | Fixed s -> s
+
+(* Ramp up to [target_live] words, then perform [churn] rounds, each
+   freeing one random live object and allocating until the target is
+   reached again. *)
+let program ?(seed = 42) ?(churn = 10_000) ~m ~dist ~target_live () =
+  if target_live > m then
+    invalid_arg "Random_workload.program: target_live > m";
+  let n = max_size_of dist in
+  Program.make
+    ~name:(Fmt.str "random[seed=%d]" seed)
+    ~live_bound:m ~max_size:n
+    (fun driver ->
+      let rng = Random.State.make [| seed |] in
+      (* Growable array of live oids for O(1) random victim choice. *)
+      let live = ref [||] in
+      let live_count = ref 0 in
+      let push oid =
+        if !live_count = Array.length !live then begin
+          let bigger =
+            Array.make (max 64 (2 * Array.length !live)) (Pc_heap.Oid.of_int 0)
+          in
+          Array.blit !live 0 bigger 0 !live_count;
+          live := bigger
+        end;
+        !live.(!live_count) <- oid;
+        incr live_count
+      in
+      let remove_at i =
+        decr live_count;
+        !live.(i) <- !live.(!live_count)
+      in
+      let fill () =
+        let continue = ref true in
+        while !continue do
+          let size = min (draw_size rng dist) n in
+          if Driver.live_words driver + size <= target_live then begin
+            let oid, _, _ = Driver.alloc driver ~size in
+            push oid
+          end
+          else continue := false
+        done
+      in
+      fill ();
+      for _ = 1 to churn do
+        if !live_count > 0 then begin
+          let i = Random.State.int rng !live_count in
+          Driver.free driver !live.(i);
+          remove_at i
+        end;
+        fill ()
+      done)

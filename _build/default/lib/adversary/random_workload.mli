@@ -1,0 +1,21 @@
+(** Randomised allocation/de-allocation churn — the average-case
+    counterpoint to the adversaries. Deterministic given the seed. *)
+
+type size_dist =
+  | Uniform of { lo : int; hi : int }
+  | Pow2 of { lo_log : int; hi_log : int }
+      (** uniform over exponents [lo_log..hi_log] *)
+  | Fixed of int
+
+val max_size_of : size_dist -> int
+
+val program :
+  ?seed:int ->
+  ?churn:int ->
+  m:int ->
+  dist:size_dist ->
+  target_live:int ->
+  unit ->
+  Program.t
+(** Ramp up to [target_live] live words, then [churn] rounds of
+    free-one-random / refill-to-target. *)

@@ -1,0 +1,109 @@
+open Pc_heap
+open Pc_manager
+
+(* The reduction of Section 4.2, executably.
+
+   To reuse Robson's analysis for P_F's ghost-hardened first stage,
+   the paper constructs an imaginary memory manager A' (Definition
+   4.7) that never moves objects: the k-th object P_R allocates is
+   placed at an address equal, modulo 2^l, to where the real manager A
+   placed the k-th object of the (P_F, A) execution — at an otherwise
+   arbitrary fresh location. Claim 4.8 then asserts a one-to-one
+   mapping between the two executions: the k-th objects have equal
+   sizes and congruent addresses, and each step performs the same
+   number of allocations with the same offset choices.
+
+   [record] captures an execution's decision-relevant trace;
+   [replay_against_a_prime] re-runs the (ghost-free, since A' never
+   compacts) program against A'; [check] verifies Claim 4.8's
+   observable consequences. The de-allocation procedure only depends
+   on sizes and addresses modulo 2^i <= 2^l, so if the implementation
+   of stage 1 is faithful the two traces must agree exactly. *)
+
+type trace = {
+  ell : int;
+  m : int;
+  entries : (int * int) array; (* per allocation: size, addr mod 2^l *)
+  offsets : int array; (* f_i chosen at each step 0..l *)
+  step_allocs : int array; (* cumulative allocations at each step end *)
+}
+
+let record ?c ~manager ~m ~ell () =
+  let budget =
+    match c with Some c -> Budget.create ~c | None -> Budget.unlimited ()
+  in
+  let ctx = Ctx.create ~budget ~live_bound:m () in
+  let driver = Driver.create ctx manager in
+  let entries = ref [] in
+  let count = ref 0 in
+  let modulus = 1 lsl ell in
+  Heap.on_event (Ctx.heap ctx) (function
+    | Heap.Alloc o ->
+        entries := (o.size, o.addr mod modulus) :: !entries;
+        incr count
+    | Heap.Free _ | Heap.Move _ -> ());
+  let offsets = ref [] and step_allocs = ref [] in
+  let observe ~step:_ ~f =
+    offsets := f :: !offsets;
+    step_allocs := !count :: !step_allocs
+  in
+  let view = View.create driver in
+  let _f : int = Robson_steps.run ~observe view ~m ~steps:ell in
+  {
+    ell;
+    m;
+    entries = Array.of_list (List.rev !entries);
+    offsets = Array.of_list (List.rev !offsets);
+    step_allocs = Array.of_list (List.rev !step_allocs);
+  }
+
+exception Mismatch of string
+
+(* The imaginary manager A': places the k-th allocation at
+   k * 2^(l+1) + (recorded residue), each object in its own fresh
+   page — wasteful, immobile, and congruent to the real execution. *)
+let a_prime (t : trace) =
+  let k = ref 0 in
+  Manager.make ~name:"a-prime"
+    ~description:"Definition 4.7: fresh pages at recorded residues"
+    (fun _ctx ~size ->
+      if !k >= Array.length t.entries then
+        raise (Mismatch "A': more allocations than the recorded execution");
+      let rsize, residue = t.entries.(!k) in
+      if rsize <> size then
+        raise
+          (Mismatch
+             (Fmt.str "A': allocation %d has size %d, recorded %d" !k size
+                rsize));
+      let addr = (!k * (1 lsl (t.ell + 1))) + residue in
+      incr k;
+      addr)
+
+let replay_against_a_prime (t : trace) =
+  record ~manager:(a_prime t) ~m:t.m ~ell:t.ell ()
+
+(* Claim 4.8's observable consequences. *)
+let check (real : trace) (imaginary : trace) =
+  let fail fmt = Fmt.kstr (fun s -> Error s) fmt in
+  if real.ell <> imaginary.ell || real.m <> imaginary.m then
+    fail "parameter mismatch"
+  else if Array.length real.entries <> Array.length imaginary.entries then
+    fail "different total allocation counts: %d vs %d"
+      (Array.length real.entries)
+      (Array.length imaginary.entries)
+  else if real.offsets <> imaginary.offsets then
+    fail "different offset choices"
+  else if real.step_allocs <> imaginary.step_allocs then
+    fail "different per-step allocation counts"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun k (size, residue) ->
+        let size', residue' = imaginary.entries.(k) in
+        if size <> size' || residue <> residue' then
+          if !bad = None then bad := Some k)
+      real.entries;
+    match !bad with
+    | Some k -> fail "allocation %d differs in size or residue" k
+    | None -> Ok ()
+  end

@@ -1,0 +1,39 @@
+(** The reduction of Section 4.2, executably: the imaginary non-moving
+    manager A′ (Definition 4.7) and the lockstep check of Claim 4.8.
+
+    Record the ghost-hardened stage-1 execution against a real
+    (possibly compacting) manager, replay Robson's program against A′
+    — which places the k-th object at a fresh page congruent modulo
+    [2{^ℓ}] to the real placement — and verify that both executions
+    make identical decisions. *)
+
+type trace = {
+  ell : int;
+  m : int;
+  entries : (int * int) array;
+      (** per allocation, in order: size and address mod [2{^ℓ}] *)
+  offsets : int array;  (** the chosen [f_i] per step [0..ℓ] *)
+  step_allocs : int array;  (** cumulative allocations at each step end *)
+}
+
+exception Mismatch of string
+
+val record :
+  ?c:float ->
+  manager:Pc_manager.Manager.t ->
+  m:int ->
+  ell:int ->
+  unit ->
+  trace
+(** Run stage 1 (Robson steps 0..ℓ with ghost handling) against a
+    manager and capture its decision-relevant trace. *)
+
+val a_prime : trace -> Pc_manager.Manager.t
+(** Definition 4.7's manager. Raises {!Mismatch} if driven differently
+    from the recorded execution. *)
+
+val replay_against_a_prime : trace -> trace
+(** Re-run the program against {!a_prime} of the given trace. *)
+
+val check : trace -> trace -> (unit, string) result
+(** Claim 4.8: equal sizes, residues, offsets and per-step counts. *)

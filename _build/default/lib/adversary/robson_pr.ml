@@ -1,0 +1,24 @@
+(* Robson's bad program P_R (Algorithm 2), hardened with ghost
+   handling so it stays meaningful against managers that move objects
+   (the hardening is exactly stage 1 of Algorithm 1; against a
+   non-moving manager no ghost ever arises and this is the original
+   P_R).
+
+   Against any non-moving manager, P_R forces
+   HS >= M*(1/2*log n + 1) - n + 1 (Section 2.2).
+
+   Run to full depth (steps = log2 n) this is also our stand-in for
+   the Bendersky-Petrank adversary P_W, whose exact construction is in
+   [4] and not reproduced in the paper's text; see DESIGN.md. *)
+
+let program ?steps ~m ~n () =
+  let log_n = Pc_bounds.Logf.log2_exact n in
+  let steps = match steps with Some s -> s | None -> log_n in
+  if steps < 0 || steps > log_n then
+    invalid_arg "Robson_pr.program: steps out of range";
+  Program.make
+    ~name:(Fmt.str "robson-pr[%d]" steps)
+    ~live_bound:m ~max_size:n
+    (fun driver ->
+      let view = View.create driver in
+      ignore (Robson_steps.run view ~m ~steps : int))

@@ -1,0 +1,8 @@
+(** Robson's bad program [P_R] (Algorithm 2), ghost-hardened so it
+    stays meaningful against moving managers.
+
+    Against any non-moving manager it forces
+    [HS ≥ M·(½·log2 n + 1) − n + 1]. [steps] defaults to [log2 n]
+    (full depth); [n] must be a power of two. *)
+
+val program : ?steps:int -> m:int -> n:int -> unit -> Program.t

@@ -1,0 +1,25 @@
+(** The step engine of Robson's bad program [P_R] (Algorithm 2), in
+    the ghost-hardened form used by stage 1 of [P_F]. *)
+
+val occupying : f:int -> step:int -> View.record -> bool
+(** Is the object [f]-occupying with respect to [step]
+    (Definition 4.2): does it cover a word congruent to [f] modulo
+    [2{^step}] at its original address? *)
+
+val wasted_space : View.t -> f:int -> step:int -> int
+(** Algorithm 2's objective: [Σ (2{^step} − |o|)] over [f]-occupying
+    live and ghost objects. *)
+
+val step : View.t -> m:int -> prev_f:int -> step:int -> int
+(** One offset choice + de-allocation + refill step; returns the
+    chosen offset [f_step]. *)
+
+val occupying_count : View.t -> f:int -> step:int -> int
+(** Number of live-or-ghost [f]-occupying objects — the quantity
+    Claim 4.9 bounds below by [M·(i+2)/2{^i+1}] after step [i]. *)
+
+val run :
+  ?observe:(step:int -> f:int -> unit) -> View.t -> m:int -> steps:int -> int
+(** Run steps [0..steps] (step 0 fills the budget with unit objects);
+    returns the final offset [f_steps]. [observe] fires after each
+    step with the chosen offset. *)

@@ -1,0 +1,69 @@
+open Pc_heap
+open Pc_manager
+
+(* Executes a (program, manager) interaction and reports HS(A, P) and
+   the rest of the paper's accounting. *)
+
+let src = Logs.Src.create "pc.runner" ~doc:"program/manager executions"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = {
+  program : string;
+  manager : string;
+  m : int;
+  n : int;
+  c : float option;
+  hs : int; (* HS(A, P): high-water mark in words *)
+  hs_over_m : float;
+  allocated : int;
+  moved : int;
+  freed : int;
+  final_live : int;
+  compliant : bool; (* c-partial rule never violated *)
+}
+
+let run ?c ?(check = false) ~program ~manager () =
+  let budget =
+    match c with Some c -> Budget.create ~c | None -> Budget.unlimited ()
+  in
+  let m = Program.live_bound program in
+  let ctx = Ctx.create ~budget ~live_bound:m () in
+  let driver = Driver.create ctx manager in
+  if check then
+    Heap.on_event (Ctx.heap ctx) (fun _ -> Heap.check_invariants (Ctx.heap ctx));
+  Log.debug (fun k ->
+      k "running %s vs %s (M=%d, c=%s)" (Program.name program)
+        (Manager.name manager) m
+        (match c with Some c -> Fmt.str "%g" c | None -> "unlimited"));
+  Program.run program driver;
+  let heap = Ctx.heap ctx in
+  Heap.check_invariants heap;
+  Log.info (fun k ->
+      k "%s vs %s: HS=%d (%.3f x M), moved %d of %d allocated"
+        (Program.name program) (Manager.name manager) (Heap.high_water heap)
+        (float_of_int (Heap.high_water heap) /. float_of_int m)
+        (Heap.moved_total heap)
+        (Heap.allocated_total heap));
+  {
+    program = Program.name program;
+    manager = Manager.name manager;
+    m;
+    n = Program.max_size program;
+    c;
+    hs = Heap.high_water heap;
+    hs_over_m = float_of_int (Heap.high_water heap) /. float_of_int m;
+    allocated = Heap.allocated_total heap;
+    moved = Heap.moved_total heap;
+    freed = Heap.freed_total heap;
+    final_live = Heap.live_words heap;
+    compliant = Budget.is_compliant budget;
+  }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "%-16s vs %-12s M=%-8d n=%-6d c=%-6s HS=%-9d HS/M=%.3f moved=%d%s"
+    o.program o.manager o.m o.n
+    (match o.c with Some c -> Fmt.str "%g" c | None -> "-")
+    o.hs o.hs_over_m o.moved
+    (if o.compliant then "" else "  [BUDGET VIOLATED]")

@@ -1,0 +1,30 @@
+(** Executes a (program, manager) interaction and reports [HS(A, P)]
+    together with the rest of the paper's accounting. *)
+
+type outcome = {
+  program : string;
+  manager : string;
+  m : int;
+  n : int;
+  c : float option;
+  hs : int;  (** the heap size [HS(A, P)]: high-water mark in words *)
+  hs_over_m : float;
+  allocated : int;
+  moved : int;
+  freed : int;
+  final_live : int;
+  compliant : bool;  (** the c-partial rule was never violated *)
+}
+
+val run :
+  ?c:float ->
+  ?check:bool ->
+  program:Program.t ->
+  manager:Pc_manager.Manager.t ->
+  unit ->
+  outcome
+(** [c] bounds the manager's compaction (omit for unlimited). [check]
+    runs the full heap invariant check after every event — O(n) per
+    event, tests only. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,57 @@
+(* Sawtooth workloads: grow the live set to M with fixed-size objects,
+   free a fraction in a chosen pattern, refill with the next size, and
+   repeat. The classic non-adversarial fragmentation stressor —
+   stronger than random churn, far weaker than P_F — useful as a
+   middle data point between Tables S1 and S3. *)
+
+type pattern =
+  | Every_other (* free objects at odd positions *)
+  | First_half (* free the older half *)
+  | Random of int (* free a random half, seeded *)
+
+let program ?(rounds = 8) ?(pattern = Every_other) ~m ~n () =
+  let log_n = Pc_bounds.Logf.log2_exact n in
+  Program.make
+    ~name:
+      (Fmt.str "sawtooth[%s]"
+         (match pattern with
+         | Every_other -> "odd"
+         | First_half -> "half"
+         | Random seed -> Fmt.str "rnd%d" seed))
+    ~live_bound:m ~max_size:n
+    (fun driver ->
+      let rng =
+        match pattern with
+        | Random seed -> Some (Random.State.make [| seed |])
+        | Every_other | First_half -> None
+      in
+      let live = ref [] in
+      (* newest first *)
+      let fill size =
+        while Driver.live_words driver + size <= Driver.live_bound driver do
+          let oid, _, _ = Driver.alloc driver ~size in
+          live := oid :: !live
+        done
+      in
+      fill 1;
+      for round = 1 to rounds do
+        let n_live = List.length !live in
+        let keep i =
+          match pattern with
+          | Every_other -> i mod 2 = 0
+          | First_half -> i < n_live / 2
+          | Random _ -> (
+              match rng with
+              | Some st -> Random.State.bool st
+              | None -> assert false)
+        in
+        let kept, doomed =
+          List.partition (fun (i, _) -> keep i)
+            (List.mapi (fun i oid -> (i, oid)) !live)
+        in
+        List.iter (fun (_, oid) -> Driver.free driver oid) doomed;
+        live := List.map snd kept;
+        (* next size: cycle through the power-of-two ladder *)
+        let size = 1 lsl (round mod (log_n + 1)) in
+        fill size
+      done)

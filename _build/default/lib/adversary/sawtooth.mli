@@ -1,0 +1,13 @@
+(** Sawtooth workloads: fill to [M], free a patterned fraction, refill
+    with the next power-of-two size — the classic fragmentation
+    stressor between random churn and the adversaries. *)
+
+type pattern =
+  | Every_other
+  | First_half
+  | Random of int  (** seed *)
+
+val program :
+  ?rounds:int -> ?pattern:pattern -> m:int -> n:int -> unit -> Program.t
+(** [n] must be a power of two; sizes cycle through
+    [1, 2, …, n]. Default 8 rounds, [Every_other]. *)

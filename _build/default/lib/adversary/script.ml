@@ -1,0 +1,91 @@
+(* Scripted workloads: programs written as an explicit list of actions
+   over named slots. Useful for reproducing a specific interleaving in
+   a test or a bug report, and as a tiny DSL for users.
+
+   Slots are arbitrary tags chosen by the script author; an [Alloc]
+   binds its slot, a [Free] releases it. *)
+
+type action =
+  | Alloc of { slot : string; size : int }
+  | Free of { slot : string }
+
+exception Bad_script of string
+
+let validate actions =
+  let live = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match a with
+      | Alloc { slot; size } ->
+          if size <= 0 then
+            raise (Bad_script (Fmt.str "slot %s: non-positive size" slot));
+          if Hashtbl.mem live slot then
+            raise (Bad_script (Fmt.str "slot %s allocated twice" slot));
+          Hashtbl.replace live slot ()
+      | Free { slot } ->
+          if not (Hashtbl.mem live slot) then
+            raise (Bad_script (Fmt.str "slot %s freed while not live" slot));
+          Hashtbl.remove live slot)
+    actions
+
+let max_live actions =
+  let live = ref 0 and peak = ref 0 in
+  let sizes = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match a with
+      | Alloc { slot; size } ->
+          Hashtbl.replace sizes slot size;
+          live := !live + size;
+          peak := max !peak !live
+      | Free { slot } ->
+          live := !live - Hashtbl.find sizes slot;
+          Hashtbl.remove sizes slot)
+    actions;
+  !peak
+
+let max_size actions =
+  List.fold_left
+    (fun acc a -> match a with Alloc { size; _ } -> max acc size | Free _ -> acc)
+    1 actions
+
+let program ?(name = "script") actions =
+  validate actions;
+  let live_bound = max 1 (max_live actions) in
+  Program.make ~name ~live_bound ~max_size:(max_size actions) (fun driver ->
+      let oids = Hashtbl.create 16 in
+      List.iter
+        (fun a ->
+          match a with
+          | Alloc { slot; size } ->
+              let oid, _, _ = Driver.alloc driver ~size in
+              Hashtbl.replace oids slot oid
+          | Free { slot } ->
+              Driver.free driver (Hashtbl.find oids slot);
+              Hashtbl.remove oids slot)
+        actions)
+
+(* One-line syntax: "a x 16; a y 8; f x; a z 4" — [a slot size] and
+   [f slot], semicolon-separated. *)
+let parse text =
+  let actions =
+    String.split_on_char ';' text
+    |> List.filter_map (fun part ->
+           match
+             String.split_on_char ' ' (String.trim part)
+             |> List.filter (fun s -> s <> "")
+           with
+           | [] -> None
+           | [ "a"; slot; size ] -> (
+               match int_of_string_opt size with
+               | Some size -> Some (Alloc { slot; size })
+               | None -> raise (Bad_script ("bad size: " ^ size)))
+           | [ "f"; slot ] -> Some (Free { slot })
+           | _ -> raise (Bad_script ("bad action: " ^ String.trim part)))
+  in
+  validate actions;
+  actions
+
+let pp_action ppf = function
+  | Alloc { slot; size } -> Fmt.pf ppf "a %s %d" slot size
+  | Free { slot } -> Fmt.pf ppf "f %s" slot

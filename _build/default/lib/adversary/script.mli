@@ -1,0 +1,27 @@
+(** Scripted workloads: programs written as explicit action lists over
+    named slots — a tiny DSL for tests, bug reports and users. *)
+
+type action =
+  | Alloc of { slot : string; size : int }
+  | Free of { slot : string }
+
+exception Bad_script of string
+
+val validate : action list -> unit
+(** Raises {!Bad_script} on double-alloc, free-while-dead or
+    non-positive sizes. *)
+
+val max_live : action list -> int
+(** Peak simultaneous live words — the script's [M]. *)
+
+val max_size : action list -> int
+
+val program : ?name:string -> action list -> Program.t
+(** [live_bound] is the script's own peak. Raises {!Bad_script} on an
+    invalid script. *)
+
+val parse : string -> action list
+(** One-line syntax, semicolon-separated: ["a x 16; a y 8; f x"]
+    ([a slot size] to allocate, [f slot] to free). *)
+
+val pp_action : Format.formatter -> action -> unit

@@ -1,0 +1,1 @@
+lib/bounds/bendersky_petrank.mli:

@@ -1,0 +1,1 @@
+lib/bounds/cohen_petrank.mli:

@@ -1,0 +1,1 @@
+lib/bounds/theorem2.ml: Array Bendersky_petrank Float Logf Robson

@@ -1,0 +1,1 @@
+lib/bounds/theorem2.mli:

@@ -1,0 +1,36 @@
+(* The Bendersky-Petrank bounds (POPL 2011), quoted in Section 2.2 of
+   the paper as the prior state of the art for partial compaction.
+
+   Upper bound: a simple c-partial manager serves any program in
+   P(M, n) within (c + 1) * M words.
+
+   Lower bound (reconstructed from the paper's summary; the typography
+   of our source text is corrupted — see DESIGN.md "Substitutions"):
+
+     HS >= M * min(c, log n / (10 * log(c+1))) - 5n   for c <= 4 log n
+     HS >= M * log n / (6 * (log log n + 2)) - n/2    for c >  4 log n
+
+   At the paper's operating points (Figures 1-2) both branches fall
+   below the trivial bound M, which is exactly the paper's point. *)
+
+let upper_bound ~m ~c =
+  if m <= 0 then invalid_arg "Bendersky_petrank.upper_bound: m <= 0";
+  if c <= 1.0 then invalid_arg "Bendersky_petrank.upper_bound: c <= 1";
+  (c +. 1.0) *. float_of_int m
+
+let lower_bound ~m ~n ~c =
+  if n <= 1 || m < n then invalid_arg "Bendersky_petrank.lower_bound: params";
+  if c <= 1.0 then invalid_arg "Bendersky_petrank.lower_bound: c <= 1";
+  let mf = float_of_int m and nf = float_of_int n in
+  let logn = Logf.log2i n in
+  let raw =
+    if c <= 4.0 *. logn then
+      (mf *. Float.min c (logn /. (10.0 *. Logf.log2 (c +. 1.0))))
+      -. (5.0 *. nf)
+    else (mf *. logn /. (6.0 *. (Logf.log2 logn +. 2.0))) -. (nf /. 2.0)
+  in
+  (* Any heap must hold the live space: the bound is trivially at least
+     M. This clamping is also how Figure 1 renders the [4] curve. *)
+  Float.max raw mf
+
+let waste_factor ~m ~n ~c = lower_bound ~m ~n ~c /. float_of_int m

@@ -1,0 +1,15 @@
+(** The Bendersky–Petrank POPL 2011 bounds, quoted in Section 2.2 of
+    the paper as the prior state of the art.
+
+    The lower-bound formula is a reconstruction; see DESIGN.md,
+    "Substitutions". At the paper's operating points it is vacuous
+    (below the trivial bound [M]) — which is the paper's point. *)
+
+val upper_bound : m:int -> c:float -> float
+(** [(c + 1) · M]. *)
+
+val lower_bound : m:int -> n:int -> c:float -> float
+(** Clamped below by the trivial bound [M]. *)
+
+val waste_factor : m:int -> n:int -> c:float -> float
+(** {!lower_bound} divided by [m]. *)

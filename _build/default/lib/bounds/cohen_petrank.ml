@@ -1,0 +1,112 @@
+(* Theorem 1 of the paper — the main result. For every c-partial
+   memory manager and every M > n > 1 there is a program
+   PF in P2(M, n) forcing heap size at least M * h, where for any
+   integer l with 2^l <= (3/4) c:
+
+              (l+2)/2 - (2^l/c)*S1(l) + (3/4 - 2^l/c)*K/(l+1) - 2n/M
+     h(l) =  --------------------------------------------------------
+                     1 + 2^(-l) * (3/4 - 2^l/c) * K/(l+1)
+
+     S1(l)  = l + 1 - (1/2) * sum_{i=1..l} i/(2^i - 1)
+              (stage-1 allocation, Claim 4.11, divided by M)
+     K      = log2(n) - 2l - 1        (number of stage-2 steps)
+
+   and the bound is optimised over l. The derivation follows the proof
+   text: HS >= u(t_finish)
+            = M*(l+2)/2 - (2^l/c)*s1 + (3/4 - 2^l/c)*s2 - n/4,
+   with s1 at its Claim 4.11 maximum and s2 at its Lemma 4.6 minimum
+   s2 = (M*(1 - 2^(-l)*h) - 2n) * K/(l+1); solving the fixed point for
+   h yields the formula (the paper folds the small n/M terms into a
+   single -2n/M; we keep that form).
+
+   Validation: at the paper's parameters (M = 256MB, n = 1MB) this
+   reproduces the reported anchor points h ~ 2.0 at c = 10 (l* = 2),
+   ~ 3.15 at c = 50 (l* = 3) and ~ 3.5 at c = 100 (l* = 3). *)
+
+type point = { ell : int; h : float }
+
+let s1_factor ~ell =
+  if ell < 0 then invalid_arg "Cohen_petrank.s1_factor: negative l";
+  let sum = ref 0.0 in
+  for i = 1 to ell do
+    sum := !sum +. (float_of_int i /. float_of_int ((1 lsl i) - 1))
+  done;
+  float_of_int ell +. 1.0 -. (0.5 *. !sum)
+
+let check_params ~m ~n =
+  if n <= 1 then invalid_arg "Cohen_petrank: need n > 1";
+  if m <= n then invalid_arg "Cohen_petrank: need M > n"
+
+(* Largest l allowed by Theorem 1's side condition 2^l <= (3/4) c. *)
+let ell_limit ~c =
+  if c <= 4.0 /. 3.0 then 0
+  else int_of_float (floor (Logf.log2 (0.75 *. c)))
+
+(* The number of stage-2 steps available: steps run from 2l to
+   log2(n) - 2, so we need 2l + 2 <= log2 n for the stage to exist. *)
+let stage2_steps ~n ~ell = int_of_float (Logf.log2i n) - (2 * ell) - 1
+
+let h ~m ~n ~c ~ell =
+  check_params ~m ~n;
+  if c <= 1.0 then invalid_arg "Cohen_petrank.h: c <= 1";
+  if ell < 1 || ell > ell_limit ~c then None
+  else begin
+    let k = stage2_steps ~n ~ell in
+    if k < 1 then None
+    else begin
+      let mf = float_of_int m and nf = float_of_int n in
+      let ellf = float_of_int ell in
+      let pow_ell = float_of_int (1 lsl ell) in
+      let drain = pow_ell /. c in
+      (* 2^l/c: potential lost per compacted word, per budget unit *)
+      let gain = 0.75 -. drain in
+      let per_step = float_of_int k /. (ellf +. 1.0) in
+      let numerator =
+        ((ellf +. 2.0) /. 2.0)
+        -. (drain *. s1_factor ~ell)
+        +. (gain *. per_step)
+        -. (2.0 *. nf /. mf)
+      in
+      let denominator = 1.0 +. (gain *. per_step /. pow_ell) in
+      Some (numerator /. denominator)
+    end
+  end
+
+let best ~m ~n ~c =
+  check_params ~m ~n;
+  let limit = ell_limit ~c in
+  let rec loop ell acc =
+    if ell > limit then acc
+    else begin
+      let acc =
+        match h ~m ~n ~c ~ell with
+        | Some v -> (
+            match acc with
+            | Some { h = best_h; _ } when best_h >= v -> acc
+            | Some _ | None -> Some { ell; h = v })
+        | None -> acc
+      in
+      loop (ell + 1) acc
+    end
+  in
+  loop 1 None
+
+(* The paper's lower bound in heap words, clamped below by the trivial
+   bound M (every heap must hold the live space). *)
+let lower_bound ~m ~n ~c =
+  let hf = match best ~m ~n ~c with Some { h; _ } -> h | None -> 1.0 in
+  Float.max hf 1.0 *. float_of_int m
+
+let waste_factor ~m ~n ~c = lower_bound ~m ~n ~c /. float_of_int m
+
+(* The per-step allocation fraction x of Algorithm 1:
+   x = (1 - 2^(-l) * h) / (l + 1). The program PF allocates x*M words
+   at each stage-2 step. *)
+let stage2_allocation_fraction ~m ~n ~c ~ell =
+  match h ~m ~n ~c ~ell with
+  | None -> None
+  | Some hv ->
+      let x =
+        (1.0 -. (hv /. float_of_int (1 lsl ell))) /. float_of_int (ell + 1)
+      in
+      Some (Float.max x 0.0)

@@ -1,0 +1,15 @@
+(* Base-2 logarithms on word counts, shared by the bound formulas.
+   The paper's parameters are powers of two; [log2i] accepts any
+   positive integer and returns the real log2. *)
+
+let log2 x = log x /. log 2.0
+let log2i x = log2 (float_of_int x)
+
+(* Exact integer log2 for power-of-two parameters; raises otherwise so
+   that formulas depending on exact step counts are not silently fed
+   non-power-of-two values. *)
+let log2_exact x =
+  if x <= 0 || x land (x - 1) <> 0 then
+    invalid_arg "Logf.log2_exact: not a positive power of two";
+  let rec loop acc x = if x = 1 then acc else loop (acc + 1) (x lsr 1) in
+  loop 0 x

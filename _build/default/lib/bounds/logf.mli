@@ -1,0 +1,8 @@
+(** Base-2 logarithms shared by the bound formulas. *)
+
+val log2 : float -> float
+val log2i : int -> float
+
+val log2_exact : int -> int
+(** Exact integer log2; raises [Invalid_argument] unless the argument
+    is a positive power of two. *)

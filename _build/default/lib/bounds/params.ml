@@ -1,0 +1,31 @@
+(* Parameter presets for the paper's figures and for laptop-scale
+   simulation. The paper measures M and n in bytes; we identify words
+   with the paper's units (the bounds are unit-free ratios). *)
+
+type t = { m : int; n : int; c : float }
+
+let kb = 1 lsl 10
+let mb = 1 lsl 20
+let gb = 1 lsl 30
+
+let pp ppf { m; n; c } =
+  Fmt.pf ppf "M=%d n=%d c=%g (M=2^%.0f, n=2^%.0f)" m n c (Logf.log2i m)
+    (Logf.log2i n)
+
+(* Figure 1: M = 256MB, n = 1MB, c swept over [10, 100]. *)
+let fig1 ~c = { m = 256 * mb; n = mb; c }
+let fig1_cs = List.init 19 (fun i -> float_of_int (10 + (5 * i)))
+
+(* Figure 2: c = 100, M = 256n, n swept over [1KB, 1GB]. *)
+let fig2 ~n = { m = 256 * n; n; c = 100.0 }
+let fig2_ns = List.init 21 (fun i -> kb lsl i)
+(* 2^10 .. 2^30 *)
+
+(* Figure 3: same axes as Figure 1. *)
+let fig3 ~c = fig1 ~c
+let fig3_cs = fig1_cs
+
+(* Simulation scale: small enough that PF's stage 1 (M unit objects)
+   runs in milliseconds, large enough that the bound is non-trivial. *)
+let sim ?(m = 1 lsl 14) ?(n = 1 lsl 6) ~c () = { m; n; c }
+let sim_cs = [ 8.0; 16.0; 32.0; 64.0 ]

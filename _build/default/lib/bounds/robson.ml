@@ -1,0 +1,29 @@
+(* Robson's matching bounds for memory managers that never move
+   objects (JACM 1971, JACM 1974), as quoted in Section 2.2 of the
+   paper. For programs in P2(M, n) — live space at most M, object sizes
+   powers of two at most n:
+
+     min_A HS(A, P_o) = max_P HS(A_o, P) = M*(1/2*log n + 1) - n + 1.
+
+   For arbitrary object sizes, rounding each request to the next power
+   of two doubles the live-space budget, giving the doubled upper
+   bound quoted by the paper. *)
+
+let check ~m ~n =
+  if n <= 0 || m <= 0 then invalid_arg "Robson: non-positive parameter";
+  if n > m then invalid_arg "Robson: need n <= m"
+
+let bound_pow2 ~m ~n =
+  check ~m ~n;
+  (float_of_int m *. ((0.5 *. Logf.log2i n) +. 1.0)) -. float_of_int n +. 1.0
+
+let lower_bound_pow2 = bound_pow2
+let upper_bound_pow2 = bound_pow2
+
+let upper_bound_general ~m ~n =
+  check ~m ~n;
+  2.0 *. bound_pow2 ~m ~n
+
+(* The waste factor axis used by the paper's figures: heap words per
+   live word. *)
+let waste_factor_pow2 ~m ~n = bound_pow2 ~m ~n /. float_of_int m

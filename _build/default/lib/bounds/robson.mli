@@ -1,0 +1,21 @@
+(** Robson's matching fragmentation bounds for non-moving memory
+    managers (JACM 1971, JACM 1974), quoted in Section 2.2 of the
+    paper.
+
+    All results are in heap words; [m] is the live-space bound and [n]
+    the largest object size, both in words with [n <= m]. *)
+
+val lower_bound_pow2 : m:int -> n:int -> float
+(** [M·(½·log2 n + 1) − n + 1]: every non-moving manager needs this
+    much heap against Robson's bad program in [P2(M, n)]. *)
+
+val upper_bound_pow2 : m:int -> n:int -> float
+(** Robson's allocator [A_o] serves every program in [P2(M, n)] within
+    the same amount — the bounds match. *)
+
+val upper_bound_general : m:int -> n:int -> float
+(** Upper bound for arbitrary sizes in [P(M, n)], by rounding requests
+    to powers of two (doubles the bound). *)
+
+val waste_factor_pow2 : m:int -> n:int -> float
+(** {!lower_bound_pow2} divided by [m]. *)

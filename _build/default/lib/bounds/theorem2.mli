@@ -1,0 +1,24 @@
+(** Theorem 2 of the paper — the improved upper bound on partial
+    compaction (a documented reconstruction; see DESIGN.md,
+    "Substitutions"). *)
+
+val coefficients : c:float -> log_n:int -> float array
+(** [a_0 .. a_{log n}] with [a_0 = 1] and
+    [a_i = (1 − 1/c) · max_{j<i} max(1/c, 2{^j−i}·a_j)]. *)
+
+val applicable : n:int -> c:float -> bool
+(** Theorem 2's side condition [c > ½·log2 n]. *)
+
+val upper_bound : m:int -> n:int -> c:float -> float
+(** Heap words sufficient for any program in [P(M, n)]. Raises
+    [Invalid_argument] when the side condition fails. *)
+
+val prior_best : m:int -> n:int -> c:float -> float
+(** The prior best upper bound:
+    [min((c+1)·M, Robson's doubled bound)]. *)
+
+val improvement : m:int -> n:int -> c:float -> float
+(** Relative improvement of {!upper_bound} over {!prior_best}
+    (positive = better). *)
+
+val waste_factor : m:int -> n:int -> c:float -> float

@@ -1,0 +1,1 @@
+lib/core/pc.ml: Pc_adversary Pc_bounds Pc_heap Pc_manager

@@ -1,0 +1,1 @@
+lib/core/pc.mli: Pc_adversary Pc_bounds Pc_heap Pc_manager

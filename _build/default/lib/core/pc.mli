@@ -1,0 +1,72 @@
+(** Partial-compaction bounds and simulators — public facade.
+
+    Reproduction of Cohen & Petrank, {e Limitations of Partial
+    Compaction: Towards Practical Bounds}, PLDI 2013.
+
+    Layers:
+    - substrate: {!Heap}, {!Free_index}, {!Budget}, {!Metrics},
+      {!Trace}, {!Layout};
+    - memory managers: {!Manager}, {!Managers} (registry of
+      first/best/next/worst fit, buddy, segregated, aligned fit, and
+      the c-partial compactors);
+    - the interaction model and adversaries: {!Driver}, {!Program},
+      {!Runner}, {!Robson_pr}, {!Pf}, {!Random_workload};
+    - closed-form bounds: {!Bounds}. *)
+
+module Word = Pc_heap.Word
+module Interval = Pc_heap.Interval
+module Oid = Pc_heap.Oid
+module Free_index = Pc_heap.Free_index
+module Heap = Pc_heap.Heap
+module Budget = Pc_heap.Budget
+module Metrics = Pc_heap.Metrics
+module Trace = Pc_heap.Trace
+module Layout = Pc_heap.Layout
+module Ctx = Pc_manager.Ctx
+module Manager = Pc_manager.Manager
+module Managers = Pc_manager.Registry
+module Driver = Pc_adversary.Driver
+module Program = Pc_adversary.Program
+module Runner = Pc_adversary.Runner
+module Robson_pr = Pc_adversary.Robson_pr
+module Pf = Pc_adversary.Pf
+module Pw = Pc_adversary.Pw
+module Random_workload = Pc_adversary.Random_workload
+module Sawtooth = Pc_adversary.Sawtooth
+module Reduction = Pc_adversary.Reduction
+module Script = Pc_adversary.Script
+
+module Bounds : sig
+  module Robson = Pc_bounds.Robson
+  module Bendersky_petrank = Pc_bounds.Bendersky_petrank
+  module Cohen_petrank = Pc_bounds.Cohen_petrank
+  module Theorem2 = Pc_bounds.Theorem2
+  module Params = Pc_bounds.Params
+end
+
+type pf_report = {
+  outcome : Runner.outcome;
+  config : Pf.config;
+  theory_h : float;  (** Theorem 1 waste factor at these parameters *)
+}
+
+val run_pf :
+  ?ell:int ->
+  m:int ->
+  n:int ->
+  c:float ->
+  manager:string ->
+  unit ->
+  pf_report
+(** Run the paper's adversary [P_F] against a manager from
+    {!Managers}, under the c-partial budget. *)
+
+type robson_report = {
+  outcome : Runner.outcome;
+  theory_waste : float;  (** Robson's matching bound divided by [M] *)
+}
+
+val run_robson :
+  ?steps:int -> m:int -> n:int -> manager:string -> unit -> robson_report
+(** Run Robson's adversary [P_R] against a manager from {!Managers},
+    with no compaction budget. *)

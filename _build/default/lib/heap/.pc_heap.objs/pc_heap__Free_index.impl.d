@@ -1,0 +1,1 @@
+lib/heap/free_index.ml: Gap_tree Int List Option Seq Set Word

@@ -1,0 +1,1 @@
+lib/heap/gap_tree.ml: List Word

@@ -1,0 +1,1 @@
+lib/heap/gap_tree.mli:

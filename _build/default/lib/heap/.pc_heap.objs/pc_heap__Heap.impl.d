@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Fmt Free_index Int List Oid Seq Stdlib

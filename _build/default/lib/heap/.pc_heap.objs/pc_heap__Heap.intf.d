@@ -1,0 +1,1 @@
+lib/heap/heap.mli: Format Free_index Oid

@@ -1,0 +1,1 @@
+lib/heap/interval.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/heap/metrics.ml: Array Float Fmt Free_index Heap Word

@@ -1,0 +1,1 @@
+lib/heap/metrics.mli: Format Heap

@@ -1,0 +1,1 @@
+lib/heap/oid.ml: Fmt Hashtbl Int Map Set

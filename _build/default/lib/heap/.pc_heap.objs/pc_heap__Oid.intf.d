@@ -1,0 +1,1 @@
+lib/heap/oid.mli: Format Hashtbl Map Set

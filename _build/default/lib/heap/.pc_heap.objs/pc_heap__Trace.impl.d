@@ -1,0 +1,1 @@
+lib/heap/trace.ml: Array Buffer Fmt Hashtbl Heap List Oid Printf String Word

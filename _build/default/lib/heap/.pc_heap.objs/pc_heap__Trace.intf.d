@@ -1,0 +1,1 @@
+lib/heap/trace.mli: Format Heap

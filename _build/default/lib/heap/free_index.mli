@@ -1,0 +1,70 @@
+(** Index of the free space of a conceptually unbounded heap [\[0, ∞)].
+
+    Free space consists of a finite set of maximal gaps below a
+    [frontier], plus the infinite free tail at [\[frontier, ∞)]. All fit
+    queries are exact and run in time logarithmic in the number of
+    gaps (aligned search adds a factor proportional to the number of
+    candidate gaps failing the alignment test). *)
+
+type t
+
+type fit =
+  | Gap of int  (** address inside an existing gap *)
+  | Tail of int  (** address at (or aligned just above) the frontier *)
+
+val create : unit -> t
+
+val frontier : t -> int
+(** All addresses at or above the frontier are free. *)
+
+val gap_count : t -> int
+val free_below_frontier : t -> int
+val largest_gap : t -> int
+val is_free : t -> addr:int -> len:int -> bool
+
+val occupy : t -> addr:int -> len:int -> unit
+(** Mark an entirely-free extent occupied. Raises [Invalid_argument]
+    otherwise. *)
+
+val release : t -> addr:int -> len:int -> unit
+(** Mark an occupied extent free, coalescing with neighbours and the
+    tail. Raises [Invalid_argument] if any part is already free or the
+    extent reaches beyond the frontier. *)
+
+val first_fit : t -> size:int -> fit
+(** Lowest address where [size] words fit (always succeeds thanks to
+    the tail). *)
+
+val first_fit_gap : t -> size:int -> int option
+(** Like {!first_fit} but only considers existing gaps. *)
+
+val first_fit_from : t -> from:int -> size:int -> int option
+(** Lowest address [>= from] inside an existing gap where [size] words
+    fit. *)
+
+val best_fit_gap : t -> size:int -> int option
+(** Address of a smallest gap of length [>= size] (ties: lowest
+    address). *)
+
+val worst_fit_gap : t -> size:int -> int option
+(** Address of the largest gap if it can hold [size] words. *)
+
+val first_aligned_fit : t -> size:int -> align:int -> fit
+(** Lowest [align]-divisible address where [size] words fit. *)
+
+val first_aligned_fit_gap : t -> size:int -> align:int -> int option
+
+val first_aligned_fit_from :
+  t -> from:int -> size:int -> align:int -> int option
+(** Lowest [align]-divisible address [>= from] where [size] words fit
+    inside an existing gap. *)
+
+val iter_gaps : t -> (int -> int -> unit) -> unit
+val gaps : t -> (int * int) list
+(** [(start, len)] pairs in address order. *)
+
+val largest_gaps : t -> k:int -> (int * int) list
+(** The [k] largest gaps as [(start, len)], longest first. *)
+
+val check_invariants : t -> unit
+(** Raises [Failure] on a broken structural invariant; for tests. *)

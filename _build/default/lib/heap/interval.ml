@@ -1,0 +1,37 @@
+(* Half-open intervals [start, stop) of heap addresses. *)
+
+type t = { start : int; stop : int }
+
+let make ~start ~stop =
+  if start < 0 || stop < start then
+    invalid_arg "Interval.make: need 0 <= start <= stop";
+  { start; stop }
+
+let of_extent ~start ~len = make ~start ~stop:(start + len)
+let start t = t.start
+let stop t = t.stop
+let length t = t.stop - t.start
+let is_empty t = t.start = t.stop
+let contains t addr = t.start <= addr && addr < t.stop
+let includes t other = t.start <= other.start && other.stop <= t.stop
+let overlaps a b =
+  (* empty intervals overlap nothing *)
+  a.start < b.stop && b.start < a.stop && a.start < a.stop && b.start < b.stop
+let adjacent a b = a.stop = b.start || b.stop = a.start
+
+let join a b =
+  if not (overlaps a b || adjacent a b) then
+    invalid_arg "Interval.join: intervals neither overlap nor touch";
+  { start = min a.start b.start; stop = max a.stop b.stop }
+
+let inter a b =
+  let start = max a.start b.start and stop = min a.stop b.stop in
+  if start >= stop then None else Some { start; stop }
+
+let compare a b =
+  match Int.compare a.start b.start with
+  | 0 -> Int.compare a.stop b.stop
+  | c -> c
+
+let equal a b = a.start = b.start && a.stop = b.stop
+let pp ppf t = Fmt.pf ppf "[%d,%d)" t.start t.stop

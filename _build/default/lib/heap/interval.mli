@@ -1,0 +1,28 @@
+(** Half-open intervals [\[start, stop)] of heap addresses. *)
+
+type t = private { start : int; stop : int }
+
+val make : start:int -> stop:int -> t
+(** Raises [Invalid_argument] unless [0 <= start <= stop]. *)
+
+val of_extent : start:int -> len:int -> t
+val start : t -> int
+val stop : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val contains : t -> int -> bool
+
+val includes : t -> t -> bool
+(** [includes t other] is [true] iff [other] lies entirely within [t]. *)
+
+val overlaps : t -> t -> bool
+val adjacent : t -> t -> bool
+
+val join : t -> t -> t
+(** Union of two overlapping or touching intervals. Raises
+    [Invalid_argument] if they are disjoint and not adjacent. *)
+
+val inter : t -> t -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+(* ASCII rendering of heap occupancy, in the style of the paper's
+   Figures 4 and 5 (chunk partitions with objects straddling chunk
+   boundaries). Each output cell covers [words_per_cell] words; a cell
+   is drawn as '#' when fully live, '.' when fully free, '+' when
+   mixed. Optional chunk rules of width 2^i insert '|' separators. *)
+
+type config = {
+  words_per_cell : int;
+  cells_per_row : int;
+  chunk_words : int option; (* draw a rule every this many words *)
+}
+
+let default_config =
+  { words_per_cell = 1; cells_per_row = 64; chunk_words = None }
+
+let cell_char heap ~start ~stop =
+  let occupied = Heap.occupied_words_in heap ~start ~stop in
+  if occupied = 0 then '.'
+  else if occupied = stop - start then '#'
+  else '+'
+
+let render ?(config = default_config) heap =
+  let { words_per_cell; cells_per_row; chunk_words } = config in
+  if words_per_cell <= 0 || cells_per_row <= 0 then
+    invalid_arg "Layout.render: non-positive geometry";
+  let extent = max (Heap.high_water heap) 1 in
+  let cells = (extent + words_per_cell - 1) / words_per_cell in
+  let buf = Buffer.create (cells * 2) in
+  let row_words = words_per_cell * cells_per_row in
+  for cell = 0 to cells - 1 do
+    let start = cell * words_per_cell in
+    if cell > 0 && start mod row_words = 0 then Buffer.add_char buf '\n';
+    begin
+      match chunk_words with
+      | Some cw when start mod cw = 0 && start mod row_words <> 0 ->
+          Buffer.add_char buf '|'
+      | Some _ | None -> ()
+    end;
+    let stop = min extent (start + words_per_cell) in
+    Buffer.add_char buf (cell_char heap ~start ~stop)
+  done;
+  Buffer.contents buf
+
+(* Detailed one-line-per-extent listing: objects and gaps in address
+   order, for small heaps. *)
+let describe heap =
+  let buf = Buffer.create 256 in
+  let cursor = ref 0 in
+  let flush_gap stop =
+    if stop > !cursor then
+      Buffer.add_string buf
+        (Printf.sprintf "  [%d,%d) free (%d words)\n" !cursor stop
+           (stop - !cursor))
+  in
+  Heap.iter_live heap (fun o ->
+      flush_gap o.addr;
+      Buffer.add_string buf
+        (Printf.sprintf "  [%d,%d) object #%d (%d words)\n" o.addr
+           (o.addr + o.size) (Oid.to_int o.oid) o.size);
+      cursor := o.addr + o.size);
+  flush_gap (Heap.high_water heap);
+  Buffer.contents buf

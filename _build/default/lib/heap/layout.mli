@@ -1,0 +1,19 @@
+(** ASCII rendering of heap occupancy, in the style of the paper's
+    Figures 4 and 5. *)
+
+type config = {
+  words_per_cell : int;  (** words covered by one output character *)
+  cells_per_row : int;
+  chunk_words : int option;
+      (** when set, draw a ['|'] rule at every multiple of this many
+          words (chunk boundaries) *)
+}
+
+val default_config : config
+(** 1 word per cell, 64 cells per row, no chunk rules. *)
+
+val render : ?config:config -> Heap.t -> string
+(** ['#'] fully live cell, ['.'] fully free, ['+'] mixed. *)
+
+val describe : Heap.t -> string
+(** One line per object/gap in address order; for small heaps. *)

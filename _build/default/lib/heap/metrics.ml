@@ -1,0 +1,59 @@
+(* Fragmentation metrics derived from a heap snapshot. *)
+
+type snapshot = {
+  live_words : int;
+  live_objects : int;
+  high_water : int;
+  frontier : int;
+  gap_count : int;
+  free_below_frontier : int;
+  largest_gap : int;
+}
+
+let snapshot heap =
+  let free = Heap.free_index heap in
+  {
+    live_words = Heap.live_words heap;
+    live_objects = Heap.live_objects heap;
+    high_water = Heap.high_water heap;
+    frontier = Free_index.frontier free;
+    gap_count = Free_index.gap_count free;
+    free_below_frontier = Free_index.free_below_frontier free;
+    largest_gap = Free_index.largest_gap free;
+  }
+
+(* HS divided by live words: the "waste factor" axis of the paper's
+   figures, relative to the current live space. *)
+let waste_factor s =
+  if s.live_words = 0 then Float.infinity
+  else float s.high_water /. float s.live_words
+
+(* Fraction of the span below the frontier that is free. *)
+let external_fragmentation s =
+  if s.frontier = 0 then 0.0
+  else float s.free_below_frontier /. float s.frontier
+
+(* 1 - largest_gap / free: how splintered the free space is. *)
+let splintering s =
+  if s.free_below_frontier = 0 then 0.0
+  else 1.0 -. (float s.largest_gap /. float s.free_below_frontier)
+
+let utilization s =
+  if s.high_water = 0 then 1.0 else float s.live_words /. float s.high_water
+
+(* Histogram of gap lengths bucketed by floor(log2 len); index k counts
+   gaps with length in [2^k, 2^(k+1)). *)
+let gap_histogram heap =
+  let hist = Array.make 62 0 in
+  Free_index.iter_gaps (Heap.free_index heap) (fun _ len ->
+      let b = Word.log2_floor len in
+      hist.(b) <- hist.(b) + 1);
+  hist
+
+let pp ppf s =
+  Fmt.pf ppf
+    "live=%d objs=%d HS=%d frontier=%d gaps=%d free=%d largest=%d waste=%.3f \
+     frag=%.3f"
+    s.live_words s.live_objects s.high_water s.frontier s.gap_count
+    s.free_below_frontier s.largest_gap (waste_factor s)
+    (external_fragmentation s)

@@ -1,0 +1,32 @@
+(** Fragmentation metrics derived from a heap snapshot. *)
+
+type snapshot = {
+  live_words : int;
+  live_objects : int;
+  high_water : int;  (** HS so far *)
+  frontier : int;
+  gap_count : int;
+  free_below_frontier : int;
+  largest_gap : int;
+}
+
+val snapshot : Heap.t -> snapshot
+
+val waste_factor : snapshot -> float
+(** [high_water / live_words] — the paper's waste factor relative to
+    the current live space; [infinity] when nothing is live. *)
+
+val external_fragmentation : snapshot -> float
+(** Fraction of the span below the frontier that is free. *)
+
+val splintering : snapshot -> float
+(** [1 - largest_gap / free_below_frontier]: 0 when all free space is
+    one gap, approaching 1 when it is splintered. *)
+
+val utilization : snapshot -> float
+(** [live_words / high_water]. *)
+
+val gap_histogram : Heap.t -> int array
+(** Index [k] counts gaps with length in [\[2{^k}, 2{^k+1})]. *)
+
+val pp : Format.formatter -> snapshot -> unit

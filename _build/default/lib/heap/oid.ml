@@ -1,0 +1,23 @@
+(* Object identifiers: dense non-negative integers, allocated by the
+   heap in creation order. The creation order is meaningful to the
+   adversarial programs (e.g. PF maps "the k-th object allocated" across
+   executions in the reduction of Section 4.2), so it is part of the
+   interface. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let to_int t = t
+let of_int i = if i < 0 then invalid_arg "Oid.of_int: negative" else i
+let pp ppf t = Fmt.pf ppf "#%d" t
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+module Table = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

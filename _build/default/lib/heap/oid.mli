@@ -1,0 +1,18 @@
+(** Object identifiers.
+
+    Dense non-negative integers allocated by the heap in creation
+    order; the order is part of the interface (the adversarial programs
+    reason about "the k-th object allocated"). *)
+
+type t = private int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_int : t -> int
+val of_int : int -> t
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,168 @@
+(* Recording and replaying heap event traces.
+
+   A trace is a sequence of heap events in execution order. Replaying a
+   trace onto a fresh heap reproduces the same final state and the same
+   high-water mark, which gives tests a strong end-to-end check and
+   makes adversarial executions inspectable offline. *)
+
+type entry = { seq : int; event : Heap.event }
+type t = { mutable entries : entry list; mutable length : int }
+
+let create () = { entries = []; length = 0 }
+
+let record trace heap =
+  Heap.on_event heap (fun event ->
+      trace.entries <- { seq = trace.length; event } :: trace.entries;
+      trace.length <- trace.length + 1)
+
+let length t = t.length
+let entries t = List.rev t.entries
+let iter t f = List.iter f (entries t)
+
+(* Replay assumes the heap allocates oids densely in order, so the k-th
+   Alloc event of the trace creates oid k of the replay heap. This
+   holds for any trace recorded from a fresh heap. *)
+let replay t =
+  let heap = Heap.create () in
+  iter t (fun { event; _ } ->
+      match event with
+      | Heap.Alloc o ->
+          let oid = Heap.alloc heap ~addr:o.addr ~size:o.size in
+          if not (Oid.equal oid o.oid) then
+            failwith "Trace.replay: oid sequence mismatch"
+      | Heap.Free o -> Heap.free heap o.oid
+      | Heap.Move m -> Heap.move heap m.oid ~dst:m.dst);
+  heap
+
+let pp_entry ppf { seq; event } = Fmt.pf ppf "%6d %a" seq Heap.pp_event event
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_entry) ppf (entries t)
+
+(* Aggregate statistics over a trace: counts, volumes, allocation-size
+   histogram (bucketed by floor log2), and object lifetimes measured
+   in events. *)
+type stats = {
+  events : int;
+  allocs : int;
+  frees : int;
+  moves : int;
+  allocated_words : int;
+  freed_words : int;
+  moved_words : int;
+  size_histogram : int array; (* index k: sizes in [2^k, 2^(k+1)) *)
+  mean_lifetime : float; (* events between alloc and free *)
+  immortal : int; (* allocated, never freed in the trace *)
+}
+
+let stats t =
+  let allocs = ref 0 and frees = ref 0 and moves = ref 0 in
+  let aw = ref 0 and fw = ref 0 and mw = ref 0 in
+  let hist = Array.make 62 0 in
+  let birth : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let lifetime_sum = ref 0 and lifetime_count = ref 0 in
+  iter t (fun { seq; event } ->
+      match event with
+      | Heap.Alloc o ->
+          incr allocs;
+          aw := !aw + o.size;
+          let b = Word.log2_floor o.size in
+          hist.(b) <- hist.(b) + 1;
+          Hashtbl.replace birth (Oid.to_int o.oid) seq
+      | Heap.Free o ->
+          incr frees;
+          fw := !fw + o.size;
+          (match Hashtbl.find_opt birth (Oid.to_int o.oid) with
+          | Some b ->
+              lifetime_sum := !lifetime_sum + (seq - b);
+              incr lifetime_count;
+              Hashtbl.remove birth (Oid.to_int o.oid)
+          | None -> ())
+      | Heap.Move m ->
+          incr moves;
+          mw := !mw + m.size);
+  {
+    events = t.length;
+    allocs = !allocs;
+    frees = !frees;
+    moves = !moves;
+    allocated_words = !aw;
+    freed_words = !fw;
+    moved_words = !mw;
+    size_histogram = hist;
+    mean_lifetime =
+      (if !lifetime_count = 0 then 0.0
+       else float_of_int !lifetime_sum /. float_of_int !lifetime_count);
+    immortal = Hashtbl.length birth;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>events: %d (%d allocs, %d frees, %d moves)@,\
+     words: %d allocated, %d freed, %d moved@,\
+     mean lifetime: %.1f events; never freed: %d@,\
+     sizes:" s.events s.allocs s.frees s.moves s.allocated_words
+    s.freed_words s.moved_words s.mean_lifetime s.immortal;
+  Array.iteri
+    (fun k count ->
+      if count > 0 then Fmt.pf ppf "@,  [%7d, %7d): %d" (1 lsl k) (2 lsl k) count)
+    s.size_histogram;
+  Fmt.pf ppf "@]"
+
+(* A compact single-line serialization, one entry per line:
+   "a <oid> <addr> <size>", "f <oid> <addr> <size>",
+   "m <oid> <src> <dst> <size>". *)
+let to_string t =
+  let buf = Buffer.create (t.length * 16) in
+  iter t (fun { event; _ } ->
+      begin
+        match event with
+        | Heap.Alloc o ->
+            Buffer.add_string buf
+              (Printf.sprintf "a %d %d %d" (Oid.to_int o.oid) o.addr o.size)
+        | Heap.Free o ->
+            Buffer.add_string buf
+              (Printf.sprintf "f %d %d %d" (Oid.to_int o.oid) o.addr o.size)
+        | Heap.Move m ->
+            Buffer.add_string buf
+              (Printf.sprintf "m %d %d %d %d" (Oid.to_int m.oid) m.src m.dst
+                 m.size)
+      end;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let of_string s =
+  let t = create () in
+  let add event =
+    t.entries <- { seq = t.length; event } :: t.entries;
+    t.length <- t.length + 1
+  in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "" ] -> ()
+         | [ "a"; oid; addr; size ] ->
+             add
+               (Heap.Alloc
+                  {
+                    oid = Oid.of_int (int_of_string oid);
+                    addr = int_of_string addr;
+                    size = int_of_string size;
+                  })
+         | [ "f"; oid; addr; size ] ->
+             add
+               (Heap.Free
+                  {
+                    oid = Oid.of_int (int_of_string oid);
+                    addr = int_of_string addr;
+                    size = int_of_string size;
+                  })
+         | [ "m"; oid; src; dst; size ] ->
+             add
+               (Heap.Move
+                  {
+                    oid = Oid.of_int (int_of_string oid);
+                    src = int_of_string src;
+                    dst = int_of_string dst;
+                    size = int_of_string size;
+                  })
+         | _ -> failwith ("Trace.of_string: bad line: " ^ line));
+  t

@@ -1,0 +1,50 @@
+(** Recording and replaying heap event traces.
+
+    Replaying a recorded trace onto a fresh heap reproduces the same
+    final state and high-water mark — an end-to-end determinism check
+    and an offline debugging aid. *)
+
+type entry = { seq : int; event : Heap.event }
+type t
+
+val create : unit -> t
+
+val record : t -> Heap.t -> unit
+(** Start appending [heap]'s events to the trace. The heap should be
+    fresh if the trace is meant to be replayable. *)
+
+val length : t -> int
+val entries : t -> entry list
+(** In execution order. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val replay : t -> Heap.t
+(** Re-execute the trace on a fresh heap. Raises [Failure] if the
+    trace's oid sequence is not dense from 0 (i.e. it was not recorded
+    from a fresh heap). *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+type stats = {
+  events : int;
+  allocs : int;
+  frees : int;
+  moves : int;
+  allocated_words : int;
+  freed_words : int;
+  moved_words : int;
+  size_histogram : int array;
+      (** index [k] counts allocations with size in
+          [\[2{^k}, 2{^k+1})] *)
+  mean_lifetime : float;  (** events between alloc and free *)
+  immortal : int;  (** allocated but never freed within the trace *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,42 @@
+(* Word arithmetic helpers. All heap addresses and sizes in this library
+   are measured in words and represented as non-negative [int]s. *)
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let pow2 k =
+  if k < 0 || k > 61 then invalid_arg "Word.pow2: exponent out of range";
+  1 lsl k
+
+let log2_floor x =
+  if x <= 0 then invalid_arg "Word.log2_floor: non-positive argument";
+  let rec loop acc x = if x <= 1 then acc else loop (acc + 1) (x lsr 1) in
+  loop 0 x
+
+let log2_ceil x =
+  let f = log2_floor x in
+  if is_pow2 x then f else f + 1
+
+let round_up_pow2 x =
+  if x <= 0 then invalid_arg "Word.round_up_pow2: non-positive argument";
+  pow2 (log2_ceil x)
+
+let align_up addr ~align =
+  if align <= 0 then invalid_arg "Word.align_up: non-positive alignment";
+  let r = addr mod align in
+  if r = 0 then addr else addr + (align - r)
+
+let align_down addr ~align =
+  if align <= 0 then invalid_arg "Word.align_down: non-positive alignment";
+  addr - (addr mod align)
+
+let is_aligned addr ~align =
+  if align <= 0 then invalid_arg "Word.is_aligned: non-positive alignment";
+  addr mod align = 0
+
+(* Human-readable rendering of a word count, e.g. "256K", "1M". *)
+let pp_count ppf x =
+  let giga = 1 lsl 30 and mega = 1 lsl 20 and kilo = 1 lsl 10 in
+  if x >= giga && x mod giga = 0 then Fmt.pf ppf "%dG" (x / giga)
+  else if x >= mega && x mod mega = 0 then Fmt.pf ppf "%dM" (x / mega)
+  else if x >= kilo && x mod kilo = 0 then Fmt.pf ppf "%dK" (x / kilo)
+  else Fmt.int ppf x

@@ -1,0 +1,35 @@
+(** Word arithmetic helpers.
+
+    All heap addresses and sizes in this library are measured in words
+    and represented as non-negative [int]s. Logarithms are base 2, as in
+    the paper. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 x] is [true] iff [x] is a positive power of two. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2{^k}]. Raises [Invalid_argument] unless
+    [0 <= k <= 61]. *)
+
+val log2_floor : int -> int
+(** [log2_floor x] is [⌊log2 x⌋] for [x > 0]. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil x] is [⌈log2 x⌉] for [x > 0]. *)
+
+val round_up_pow2 : int -> int
+(** [round_up_pow2 x] is the least power of two [>= x], for [x > 0]. *)
+
+val align_up : int -> align:int -> int
+(** [align_up addr ~align] is the least address [>= addr] divisible by
+    [align]. *)
+
+val align_down : int -> align:int -> int
+(** [align_down addr ~align] is the greatest address [<= addr] divisible
+    by [align]. *)
+
+val is_aligned : int -> align:int -> bool
+(** [is_aligned addr ~align] is [true] iff [align] divides [addr]. *)
+
+val pp_count : Format.formatter -> int -> unit
+(** Pretty-print a word count with K/M/G suffixes when exact. *)

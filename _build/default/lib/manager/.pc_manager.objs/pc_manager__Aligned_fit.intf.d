@@ -1,0 +1,1 @@
+lib/manager/aligned_fit.mli: Ctx Manager

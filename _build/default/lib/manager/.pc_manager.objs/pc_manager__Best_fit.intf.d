@@ -1,0 +1,1 @@
+lib/manager/best_fit.mli: Ctx Manager

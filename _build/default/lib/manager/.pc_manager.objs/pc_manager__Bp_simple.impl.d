@@ -1,0 +1,1 @@
+lib/manager/bp_simple.ml: Budget Ctx Float Fmt Free_index Heap Manager Pc_heap

@@ -1,0 +1,1 @@
+lib/manager/bp_simple.mli: Manager

@@ -1,0 +1,1 @@
+lib/manager/buddy.ml: Ctx Free_index Hashtbl Heap Int Manager Map Pc_heap Word

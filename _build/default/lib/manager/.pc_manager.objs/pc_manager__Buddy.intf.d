@@ -1,0 +1,1 @@
+lib/manager/buddy.mli: Manager

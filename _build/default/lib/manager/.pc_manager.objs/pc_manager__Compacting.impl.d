@@ -1,0 +1,1 @@
+lib/manager/compacting.ml: Ctx Evict Free_index Heap Manager Pc_heap Word

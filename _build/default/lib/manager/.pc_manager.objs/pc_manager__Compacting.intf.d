@@ -1,0 +1,1 @@
+lib/manager/compacting.mli: Manager

@@ -1,0 +1,1 @@
+lib/manager/ctx.ml: Budget Heap Pc_heap

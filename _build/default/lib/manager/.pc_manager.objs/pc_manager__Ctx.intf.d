@@ -1,0 +1,1 @@
+lib/manager/ctx.mli: Pc_heap

@@ -1,0 +1,1 @@
+lib/manager/evict.ml: Budget Ctx Free_index Hashtbl Heap Int Interval List Logs Pc_heap

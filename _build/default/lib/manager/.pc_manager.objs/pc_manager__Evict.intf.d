@@ -1,0 +1,1 @@
+lib/manager/evict.mli: Ctx Pc_heap

@@ -1,0 +1,1 @@
+lib/manager/first_fit.mli: Ctx Manager

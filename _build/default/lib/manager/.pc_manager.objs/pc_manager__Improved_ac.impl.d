@@ -1,0 +1,1 @@
+lib/manager/improved_ac.ml: Budget Ctx Evict Free_index Heap Interval Manager Pc_heap Word

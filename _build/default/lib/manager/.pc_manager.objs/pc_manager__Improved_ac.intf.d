@@ -1,0 +1,1 @@
+lib/manager/improved_ac.mli: Manager

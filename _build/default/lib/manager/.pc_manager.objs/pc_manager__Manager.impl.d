@@ -1,0 +1,1 @@
+lib/manager/manager.ml: Ctx Fmt Heap Pc_heap

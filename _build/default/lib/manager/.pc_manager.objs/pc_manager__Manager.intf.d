@@ -1,0 +1,1 @@
+lib/manager/manager.mli: Ctx Format Pc_heap

@@ -1,0 +1,1 @@
+lib/manager/next_fit.mli: Manager

@@ -1,0 +1,1 @@
+lib/manager/registry.ml: Aligned_fit Best_fit Bp_simple Buddy Compacting First_fit Fmt Improved_ac List Manager Next_fit Segregated Semispace Sliding String Tlsf Worst_fit

@@ -1,0 +1,1 @@
+lib/manager/registry.mli: Manager

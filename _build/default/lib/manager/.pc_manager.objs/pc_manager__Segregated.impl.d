@@ -1,0 +1,1 @@
+lib/manager/segregated.ml: Array Bytes Ctx Free_index Heap Int Manager Map Pc_heap Word

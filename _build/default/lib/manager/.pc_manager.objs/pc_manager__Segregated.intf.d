@@ -1,0 +1,1 @@
+lib/manager/segregated.mli: Manager

@@ -1,0 +1,1 @@
+lib/manager/semispace.ml: Budget Ctx Fmt Free_index Heap Manager Pc_heap

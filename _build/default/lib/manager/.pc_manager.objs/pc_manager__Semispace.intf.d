@@ -1,0 +1,1 @@
+lib/manager/semispace.mli: Manager

@@ -1,0 +1,1 @@
+lib/manager/sliding.ml: Budget Ctx Free_index Heap Manager Pc_heap

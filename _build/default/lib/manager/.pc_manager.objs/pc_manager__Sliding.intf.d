@@ -1,0 +1,1 @@
+lib/manager/sliding.mli: Manager

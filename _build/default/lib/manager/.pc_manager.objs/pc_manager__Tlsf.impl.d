@@ -1,0 +1,1 @@
+lib/manager/tlsf.ml: Ctx Free_index Manager Pc_heap Word

@@ -1,0 +1,1 @@
+lib/manager/tlsf.mli: Manager

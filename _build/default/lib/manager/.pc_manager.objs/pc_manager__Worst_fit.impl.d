@@ -1,0 +1,1 @@
+lib/manager/worst_fit.ml: Ctx Free_index Manager Pc_heap

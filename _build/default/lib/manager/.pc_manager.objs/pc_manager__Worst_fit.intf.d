@@ -1,0 +1,1 @@
+lib/manager/worst_fit.mli: Ctx Manager

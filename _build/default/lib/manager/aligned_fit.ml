@@ -1,0 +1,17 @@
+open Pc_heap
+
+(* Aligned first fit, Robson's upper-bound strategy A_o: an object of
+   size s is placed at the lowest free address divisible by the
+   smallest power of two >= s. For programs in P2(M, n) this keeps the
+   heap within M*(1/2*log n + 1) - n + 1 words (Robson 1971), the bound
+   Section 2.2 of the paper quotes. *)
+
+let alloc ctx ~size =
+  let align = Word.round_up_pow2 size in
+  match Free_index.first_aligned_fit (Ctx.free_index ctx) ~size ~align with
+  | Free_index.Gap a | Free_index.Tail a -> a
+
+let manager =
+  Manager.make ~name:"aligned-fit"
+    ~description:"non-moving; Robson's A_o: lowest size-aligned address"
+    alloc

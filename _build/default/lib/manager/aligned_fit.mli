@@ -1,0 +1,6 @@
+(** Aligned first fit — Robson's upper-bound allocator [A_o]: place a
+    size-[s] object at the lowest free address divisible by the
+    smallest power of two [>= s] (non-moving). *)
+
+val alloc : Ctx.t -> size:int -> int
+val manager : Manager.t

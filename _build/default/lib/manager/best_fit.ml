@@ -1,0 +1,14 @@
+open Pc_heap
+
+(* Best fit: a smallest gap that fits (ties broken by lowest address),
+   extending at the frontier when no gap is large enough. *)
+
+let alloc ctx ~size =
+  let free = Ctx.free_index ctx in
+  match Free_index.best_fit_gap free ~size with
+  | Some a -> a
+  | None -> Free_index.frontier free
+
+let manager =
+  Manager.make ~name:"best-fit"
+    ~description:"non-moving; smallest gap that fits" alloc

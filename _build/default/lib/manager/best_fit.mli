@@ -1,0 +1,5 @@
+(** Best fit: a smallest gap that fits, ties to the lowest address
+    (non-moving). *)
+
+val alloc : Ctx.t -> size:int -> int
+val manager : Manager.t

@@ -1,0 +1,5 @@
+(** The Bendersky–Petrank upper-bound manager (POPL 2011): bump
+    allocation with full sliding compaction inside a [(c+1)·M] arena.
+    Serves any program in [P(M, n)] within heap [(c+1)·M] words. *)
+
+val make : unit -> Manager.t

@@ -1,0 +1,27 @@
+open Pc_heap
+
+(* The execution context a memory manager operates in: the heap, the
+   c-partial compaction budget, and the program's declared live-space
+   bound M (part of the model — the (c+1)M manager of [4] needs it).
+
+   Budget accounting is wired automatically: every Alloc event
+   recharges the budget, every Move event drains it (raising
+   Budget.Exceeded when a manager over-compacts). Managers therefore
+   never touch the budget except to *query* the remaining quota. *)
+
+type t = { heap : Heap.t; budget : Budget.t; live_bound : int }
+
+let create ?budget ~live_bound () =
+  if live_bound <= 0 then invalid_arg "Ctx.create: non-positive live bound";
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let heap = Heap.create () in
+  Heap.on_event heap (function
+    | Heap.Alloc o -> Budget.on_alloc budget o.size
+    | Heap.Move m -> Budget.charge_move budget m.size
+    | Heap.Free _ -> ());
+  { heap; budget; live_bound }
+
+let heap t = t.heap
+let budget t = t.budget
+let live_bound t = t.live_bound
+let free_index t = Heap.free_index t.heap

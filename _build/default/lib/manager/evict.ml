@@ -1,0 +1,132 @@
+open Pc_heap
+
+(* Shared chunk-eviction machinery for compacting managers.
+
+   To reuse an occupied region, a manager must relocate every live
+   object intersecting it, paying the objects' sizes out of the
+   compaction budget. This is exactly the reuse the paper's program PF
+   is engineered to make expensive: PF keeps every chunk at density
+   >= 2^-l > 1/c, so each reuse costs more budget than the triggering
+   allocation recharges.
+
+   Candidate windows are derived from the largest free gaps rather
+   than from a scan of all live objects: a window that is cheap to
+   clear is mostly free, so it overlaps one of the big gaps. This
+   keeps each eviction attempt at O(max_gaps * log live) instead of
+   O(live). *)
+
+let src = Logs.Src.create "pc.evict" ~doc:"window eviction decisions"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type candidate = { window_start : int; cost : int }
+
+(* Cost of clearing the aligned [size]-word window at [start]: total
+   size of the live objects intersecting it (straddlers count fully —
+   they must be moved whole). *)
+let window_cost heap ~start ~size =
+  List.fold_left
+    (fun acc (o : Heap.obj) -> acc + o.size)
+    0
+    (Heap.objects_in heap ~start ~stop:(start + size))
+
+(* Candidate [align]-aligned [size]-word windows below the frontier,
+   cheapest first, discovered around the [max_gaps] largest gaps. *)
+let window_candidates ?(max_gaps = 64) ctx ~size ~align =
+  let heap = Ctx.heap ctx in
+  let free = Ctx.free_index ctx in
+  let frontier = Free_index.frontier free in
+  let seen = Hashtbl.create 64 in
+  let cands = ref [] in
+  let consider w =
+    let start = w * align in
+    if start >= 0 && start + size <= frontier && not (Hashtbl.mem seen w)
+    then begin
+      Hashtbl.add seen w ();
+      let cost = window_cost heap ~start ~size in
+      cands := { window_start = start; cost } :: !cands
+    end
+  in
+  List.iter
+    (fun (gs, gl) ->
+      (* Windows overlapping this gap; a bounded number per gap. *)
+      let w0 = gs / align and w1 = (gs + gl - 1) / align in
+      let wlimit = min w1 (w0 + 3) in
+      for w = w0 to wlimit do
+        consider w
+      done;
+      if w1 > wlimit then consider w1)
+    (Free_index.largest_gaps free ~k:max_gaps);
+  List.sort
+    (fun a b ->
+      match Int.compare a.cost b.cost with
+      | 0 -> Int.compare a.window_start b.window_start
+      | c -> c)
+    !cands
+
+(* Default relocation target: lowest-addressed existing gap that does
+   not overlap the window being cleared. *)
+let relocate_first_fit ctx ~avoid (o : Heap.obj) =
+  let free = Ctx.free_index ctx in
+  match Free_index.first_fit_gap free ~size:o.size with
+  | Some a when a + o.size <= Interval.start avoid || a >= Interval.stop avoid
+    ->
+      Some a
+  | Some _ ->
+      Free_index.first_fit_from free ~from:(Interval.stop avoid) ~size:o.size
+  | None -> None
+
+(* Clear one window and return its start address. Objects are moved
+   largest-first so that relocation failures surface before most of the
+   budget is spent. Returns [None] when no candidate window can be
+   cleared within [move_cap] words of budget. *)
+let try_evict ?(max_attempts = 3) ?max_gaps ?relocate ctx ~size ~align
+    ~move_cap =
+  let relocate =
+    match relocate with Some f -> f | None -> relocate_first_fit
+  in
+  let heap = Ctx.heap ctx in
+  let budget = Ctx.budget ctx in
+  let cap = min move_cap (Budget.available budget) in
+  let candidates =
+    window_candidates ?max_gaps ctx ~size ~align
+    |> List.filter (fun c -> c.cost <= cap)
+  in
+  let attempt { window_start; _ } =
+    let avoid = Interval.of_extent ~start:window_start ~len:size in
+    let objs =
+      Heap.objects_in heap ~start:window_start ~stop:(window_start + size)
+      |> List.sort (fun (a : Heap.obj) (b : Heap.obj) ->
+             Int.compare b.size a.size)
+    in
+    let ok =
+      List.for_all
+        (fun (o : Heap.obj) ->
+          match relocate ctx ~avoid o with
+          | Some dst ->
+              Heap.move heap o.oid ~dst;
+              true
+          | None -> false)
+        objs
+    in
+    if ok then Some window_start else None
+  in
+  let rec first_success attempts = function
+    | [] -> None
+    | _ when attempts = 0 -> None
+    | c :: rest -> (
+        match attempt c with
+        | Some _ as res -> res
+        | None -> first_success (attempts - 1) rest)
+  in
+  let result = first_success max_attempts candidates in
+  (match result with
+  | Some a ->
+      Log.debug (fun k ->
+          k "cleared window [%d,%d) (budget left %d)" a (a + size)
+            (Budget.available budget))
+  | None ->
+      Log.debug (fun k ->
+          k "no evictable %d-word window (%d candidates within cap %d)" size
+            (List.length candidates) cap));
+  result

@@ -1,0 +1,13 @@
+open Pc_heap
+
+(* First fit: lowest address where the request fits, extending the heap
+   at the frontier only when no gap is large enough. The classic
+   non-moving allocator Robson's bounds are usually quoted against. *)
+
+let alloc ctx ~size =
+  match Free_index.first_fit (Ctx.free_index ctx) ~size with
+  | Free_index.Gap a | Free_index.Tail a -> a
+
+let manager =
+  Manager.make ~name:"first-fit"
+    ~description:"non-moving; lowest-addressed gap that fits" alloc

@@ -1,0 +1,4 @@
+(** First fit: lowest address where the request fits (non-moving). *)
+
+val alloc : Ctx.t -> size:int -> int
+val manager : Manager.t

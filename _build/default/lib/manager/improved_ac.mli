@@ -1,0 +1,10 @@
+(** A Theorem-2-inspired c-partial manager: Robson-style aligned
+    placement augmented with eviction of sparse aligned windows (the
+    exact Theorem 2 algorithm is only in the paper's full version; see
+    DESIGN.md, "Substitutions").
+
+    [theta] (default 4.0) sets the density threshold [theta·2{^k}/c]
+    below which a window is considered cheap enough to clear. *)
+
+val make :
+  ?theta:float -> ?max_attempts:int -> ?min_window:int -> unit -> Manager.t

@@ -1,0 +1,4 @@
+(** Next fit: first fit resuming from a roving pointer (non-moving).
+    Stateful — construct one manager per execution. *)
+
+val make : unit -> Manager.t

@@ -1,0 +1,102 @@
+(* Named manager constructors, for the CLI, benches and examples.
+   Constructors, not managers: several managers are stateful and must
+   be fresh per execution. *)
+
+type entry = {
+  key : string;
+  summary : string;
+  moving : bool; (* uses the compaction budget *)
+  construct : unit -> Manager.t;
+}
+
+let entries =
+  [
+    {
+      key = "first-fit";
+      summary = "lowest-addressed gap that fits";
+      moving = false;
+      construct = (fun () -> First_fit.manager);
+    };
+    {
+      key = "next-fit";
+      summary = "first fit from a roving pointer";
+      moving = false;
+      construct = (fun () -> Next_fit.make ());
+    };
+    {
+      key = "best-fit";
+      summary = "smallest gap that fits";
+      moving = false;
+      construct = (fun () -> Best_fit.manager);
+    };
+    {
+      key = "worst-fit";
+      summary = "largest gap";
+      moving = false;
+      construct = (fun () -> Worst_fit.manager);
+    };
+    {
+      key = "aligned-fit";
+      summary = "Robson's A_o: lowest size-aligned address";
+      moving = false;
+      construct = (fun () -> Aligned_fit.manager);
+    };
+    {
+      key = "buddy";
+      summary = "binary buddy blocks";
+      moving = false;
+      construct = (fun () -> Buddy.make ());
+    };
+    {
+      key = "segregated";
+      summary = "slab-style size-class blocks";
+      moving = false;
+      construct = (fun () -> Segregated.make ());
+    };
+    {
+      key = "tlsf";
+      summary = "TLSF-style two-level good fit";
+      moving = false;
+      construct = (fun () -> Tlsf.make ());
+    };
+    {
+      key = "compacting";
+      summary = "c-partial first fit with window eviction";
+      moving = true;
+      construct = (fun () -> Compacting.make ());
+    };
+    {
+      key = "bp-simple";
+      summary = "Bendersky-Petrank (c+1)M bump-and-compact";
+      moving = true;
+      construct = (fun () -> Bp_simple.make ());
+    };
+    {
+      key = "improved-ac";
+      summary = "Theorem-2-inspired aligned placement with eviction";
+      moving = true;
+      construct = (fun () -> Improved_ac.make ());
+    };
+    {
+      key = "semispace";
+      summary = "two-space copying collector";
+      moving = true;
+      construct = (fun () -> Semispace.make ());
+    };
+    {
+      key = "sliding";
+      summary = "first fit with periodic full sliding compaction";
+      moving = true;
+      construct = (fun () -> Sliding.make ());
+    };
+  ]
+
+let keys = List.map (fun e -> e.key) entries
+let find key = List.find_opt (fun e -> e.key = key) entries
+
+let construct_exn key =
+  match find key with
+  | Some e -> e.construct ()
+  | None ->
+      Fmt.invalid_arg "unknown manager %S (available: %s)" key
+        (String.concat ", " keys)

@@ -1,0 +1,17 @@
+(** Named manager constructors for the CLI, benches and examples.
+    Constructors rather than values: several managers are stateful and
+    must be fresh per execution. *)
+
+type entry = {
+  key : string;
+  summary : string;
+  moving : bool;  (** whether the manager uses the compaction budget *)
+  construct : unit -> Manager.t;
+}
+
+val entries : entry list
+val keys : string list
+val find : string -> entry option
+
+val construct_exn : string -> Manager.t
+(** Raises [Invalid_argument] on an unknown key. *)

@@ -1,0 +1,39 @@
+open Pc_heap
+
+(* TLSF-style "good fit" (Masmano et al., the standard real-time
+   allocator — directly relevant to the paper's real-time motivation).
+
+   TLSF indexes free blocks in two levels: first level = floor(log2
+   size), second level = a linear split of each power-of-two range
+   into 2^sl subclasses. A request is rounded up to its class
+   boundary and served from the first non-empty class at or above it,
+   giving O(1) search at the cost of bounded internal fragmentation.
+
+   Our heap already maintains a length-indexed gap structure, so the
+   policy reduces to: round the request up to the class boundary,
+   then take a smallest gap at or above that rounded size. This is
+   semantically TLSF's good fit (it skips gaps that fit exactly but
+   sit in the same class below the boundary). *)
+
+let class_round ~sl_log size =
+  if size <= 1 lsl sl_log then size
+  else begin
+    let fl = Word.log2_floor size in
+    let granularity = 1 lsl (fl - sl_log) in
+    Word.align_up size ~align:granularity
+  end
+
+let make ?(sl_log = 3) () =
+  if sl_log < 0 then invalid_arg "Tlsf.make: negative second-level log";
+  let alloc ctx ~size =
+    let free = Ctx.free_index ctx in
+    let rounded = class_round ~sl_log size in
+    match Free_index.best_fit_gap free ~size:rounded with
+    | Some a -> a
+    | None -> Free_index.frontier free
+  in
+  Manager.make ~name:"tlsf"
+    ~description:
+      "non-moving; TLSF-style good fit (two-level size classes, O(1) \
+       search model)"
+    alloc

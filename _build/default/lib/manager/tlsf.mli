@@ -1,0 +1,10 @@
+(** TLSF-style good-fit placement (two-level segregated classes), the
+    standard real-time allocator policy, as a non-moving manager.
+
+    [sl_log] (default 3) gives [2{^sl_log}] second-level subclasses
+    per power-of-two range. *)
+
+val class_round : sl_log:int -> int -> int
+(** Round a request up to its class boundary. *)
+
+val make : ?sl_log:int -> unit -> Manager.t

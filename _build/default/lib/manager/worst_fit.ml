@@ -1,0 +1,13 @@
+open Pc_heap
+
+(* Worst fit: carve from the largest gap, extending at the frontier
+   when even the largest gap is too small. *)
+
+let alloc ctx ~size =
+  let free = Ctx.free_index ctx in
+  match Free_index.worst_fit_gap free ~size with
+  | Some a -> a
+  | None -> Free_index.frontier free
+
+let manager =
+  Manager.make ~name:"worst-fit" ~description:"non-moving; largest gap" alloc

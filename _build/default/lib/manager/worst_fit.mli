@@ -1,0 +1,4 @@
+(** Worst fit: carve from the largest gap (non-moving). *)
+
+val alloc : Ctx.t -> size:int -> int
+val manager : Manager.t

@@ -1,0 +1,1 @@
+test/test_association.ml: Alcotest Association List Oid Pc_adversary Pc_heap QCheck QCheck_alcotest Random

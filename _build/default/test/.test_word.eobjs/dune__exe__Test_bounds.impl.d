@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Bendersky_petrank Cohen_petrank Fmt List Logf Params Pc_bounds QCheck QCheck_alcotest Robson Theorem2

@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Budget Pc_heap QCheck QCheck_alcotest Random

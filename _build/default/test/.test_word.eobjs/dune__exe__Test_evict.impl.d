@@ -1,0 +1,1 @@
+test/test_evict.ml: Alcotest Budget Ctx Evict Heap Interval List Oid Pc_heap Pc_manager

@@ -1,0 +1,1 @@
+test/test_free_index.ml: Alcotest Array Free_index Pc_heap QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_gap_tree.ml: Alcotest Gap_tree Int List Pc_heap QCheck QCheck_alcotest Random Word

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap List Oid Pc_heap QCheck QCheck_alcotest Random Trace

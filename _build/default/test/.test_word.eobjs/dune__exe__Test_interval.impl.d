@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Interval List Option Pc_heap QCheck QCheck_alcotest

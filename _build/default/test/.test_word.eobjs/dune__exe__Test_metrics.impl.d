@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float Heap Layout Metrics Oid Pc_heap String

@@ -1,0 +1,1 @@
+test/test_pf.ml: Alcotest Fmt List Pc_adversary Pc_bounds Pc_manager Pf Runner

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array List Pc_adversary Pc_manager QCheck QCheck_alcotest Reduction

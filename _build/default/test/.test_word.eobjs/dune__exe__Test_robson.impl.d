@@ -1,0 +1,1 @@
+test/test_robson.ml: Alcotest Driver Fmt List Oid Pc_adversary Pc_bounds Pc_heap Pc_manager Program QCheck QCheck_alcotest Robson_pr Robson_steps Runner View

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Ctx Driver First_fit Free_index Heap List Manager Pc_adversary Pc_heap Pc_manager Program Random_workload Runner View

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Heap List Pc_heap String Trace

@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Fmt List Pc_heap QCheck QCheck_alcotest Word

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fmt List Pc_adversary Pc_manager Pf Pw QCheck QCheck_alcotest Random Random_workload Runner Sawtooth Script

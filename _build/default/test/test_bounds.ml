@@ -1,0 +1,200 @@
+open Pc_bounds
+
+(* The closed-form bounds, validated against every number the paper
+   states explicitly, plus structural properties of the formulas. *)
+
+let m_paper = 256 * Params.mb
+let n_paper = Params.mb
+
+let test_paper_anchor_points () =
+  (* Figure 1's reported anchors: ~2x at c=10, ~3.15x at c=50 (the
+     text says "3.15 * M" at c=50), 3.5x at c=100. *)
+  let h c = Cohen_petrank.waste_factor ~m:m_paper ~n:n_paper ~c in
+  Alcotest.(check (float 0.05)) "c=10 -> 2.0" 2.0 (h 10.0);
+  Alcotest.(check (float 0.05)) "c=50 -> 3.15" 3.15 (h 50.0);
+  Alcotest.(check (float 0.05)) "c=100 -> 3.5" 3.5 (h 100.0)
+
+let test_paper_robson_quote () =
+  (* Section 1: "for realistic parameters ... if we were willing to
+     execute a full compaction ... overhead factor 1"; Robson at these
+     parameters is (1/2 * 20 + 1) = 11 minus n/M terms. *)
+  Alcotest.(check (float 0.01)) "Robson 256MB/1MB" 10.996
+    (Robson.waste_factor_pow2 ~m:m_paper ~n:n_paper)
+
+let test_bp_vacuous_at_paper_scale () =
+  (* "throughout the range c = 10..100, the lower bound from [4] gives
+     nothing but the trivial lower bound" *)
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 1e-9)) (Fmt.str "c=%g trivial" c) 1.0
+        (Bendersky_petrank.waste_factor ~m:m_paper ~n:n_paper ~c))
+    [ 10.0; 25.0; 50.0; 75.0; 100.0 ]
+
+let test_bp_meaningful_at_huge_scale () =
+  (* [4] becomes non-trivial only for huge heaps (the paper says
+     M > n = 16TB): in the branch c > 4 log n, the factor
+     log n / (6 (log log n + 2)) crosses 1 only for astronomical n. *)
+  let m = 1 lsl 61 and n = 1 lsl 53 in
+  Alcotest.(check bool) "non-trivial" true
+    (Bendersky_petrank.waste_factor ~m ~n ~c:300.0 > 1.0)
+
+let test_s1_factor () =
+  Alcotest.(check (float 1e-9)) "l=0" 1.0 (Cohen_petrank.s1_factor ~ell:0);
+  Alcotest.(check (float 1e-9)) "l=1" 1.5 (Cohen_petrank.s1_factor ~ell:1);
+  Alcotest.(check (float 1e-6)) "l=2" (3.0 -. 0.5 -. (1.0 /. 3.0))
+    (Cohen_petrank.s1_factor ~ell:2)
+
+let test_ell_limit () =
+  Alcotest.(check int) "c=10: 2^l <= 7.5" 2 (Cohen_petrank.ell_limit ~c:10.0);
+  Alcotest.(check int) "c=50: 2^l <= 37.5" 5 (Cohen_petrank.ell_limit ~c:50.0);
+  Alcotest.(check int) "c=100: 2^l <= 75" 6 (Cohen_petrank.ell_limit ~c:100.0)
+
+let test_h_side_conditions () =
+  let h ell = Cohen_petrank.h ~m:m_paper ~n:n_paper ~c:50.0 ~ell in
+  Alcotest.(check bool) "l=0 invalid" true (h 0 = None);
+  Alcotest.(check bool) "l=5 valid at c=50" true (h 5 <> None);
+  Alcotest.(check bool) "l=6 exceeds limit" true (h 6 = None);
+  (* stage 2 must exist: log n = 8 means l <= 3 *)
+  Alcotest.(check bool) "stage-2 room" true
+    (Cohen_petrank.h ~m:(1 lsl 16) ~n:(1 lsl 8) ~c:100.0 ~ell:4 = None)
+
+let test_best_picks_argmax () =
+  match Cohen_petrank.best ~m:m_paper ~n:n_paper ~c:50.0 with
+  | None -> Alcotest.fail "expected a best point"
+  | Some { ell; h } ->
+      Alcotest.(check int) "optimal l at c=50" 3 ell;
+      List.iter
+        (fun other ->
+          match Cohen_petrank.h ~m:m_paper ~n:n_paper ~c:50.0 ~ell:other with
+          | Some v ->
+              Alcotest.(check bool) (Fmt.str "l=%d not better" other) true
+                (v <= h +. 1e-9)
+          | None -> ())
+        [ 1; 2; 3; 4; 5 ]
+
+let test_lower_bound_clamped () =
+  (* When no valid l exists (c too small), the bound degrades to the
+     trivial M. *)
+  Alcotest.(check (float 1e-9)) "clamped to M" 1.0
+    (Cohen_petrank.waste_factor ~m:8192 ~n:256 ~c:2.0)
+
+let prop_h_monotone_in_c =
+  QCheck.Test.make ~name:"lower bound weakly increases with c" ~count:50
+    QCheck.(pair (int_range 10 200) (int_range 10 190))
+    (fun (c1, dc) ->
+      let c1 = float_of_int c1 in
+      let c2 = c1 +. float_of_int dc in
+      Cohen_petrank.waste_factor ~m:m_paper ~n:n_paper ~c:c2
+      >= Cohen_petrank.waste_factor ~m:m_paper ~n:n_paper ~c:c1 -. 1e-9)
+
+let prop_h_monotone_in_n =
+  QCheck.Test.make ~name:"Figure 2: bound increases with n (M=256n)"
+    ~count:20
+    QCheck.(int_range 10 29)
+    (fun nl ->
+      let f nl = Cohen_petrank.waste_factor ~m:(256 lsl nl) ~n:(1 lsl nl) ~c:100.0 in
+      f (nl + 1) >= f nl -. 1e-9)
+
+let test_theorem2_coefficients () =
+  let a = Theorem2.coefficients ~c:20.0 ~log_n:20 in
+  Alcotest.(check (float 1e-9)) "a0" 1.0 a.(0);
+  Alcotest.(check (float 1e-9)) "a1 = 0.95 * 1/2" 0.475 a.(1);
+  Alcotest.(check (float 1e-9)) "a2 = 0.95 * 1/4" 0.2375 a.(2);
+  (* eventually the 1/c floor dominates: a_i = (1 - 1/c)/c *)
+  Alcotest.(check (float 1e-9)) "floor" (0.95 /. 20.0) a.(20);
+  (* decreasing *)
+  Array.iteri
+    (fun i ai -> if i > 0 then Alcotest.(check bool) "decreasing" true (ai <= a.(i - 1)))
+    a
+
+let test_theorem2_side_condition () =
+  Alcotest.(check bool) "c=9 < 10 = log n / 2" false
+    (Theorem2.applicable ~n:n_paper ~c:9.0);
+  Alcotest.(check bool) "c=11 ok" true (Theorem2.applicable ~n:n_paper ~c:11.0);
+  Alcotest.check_raises "raises below threshold"
+    (Invalid_argument "Theorem2.upper_bound: requires c > (1/2) log n")
+    (fun () -> ignore (Theorem2.upper_bound ~m:m_paper ~n:n_paper ~c:9.0))
+
+let test_theorem2_improves_in_range () =
+  (* Figure 3's qualitative content: the new upper bound beats the
+     prior best for c in [20, 100]. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Fmt.str "improves at c=%g" c) true
+        (Theorem2.improvement ~m:m_paper ~n:n_paper ~c > 0.0))
+    [ 20.0; 40.0; 60.0; 80.0; 100.0 ]
+
+let test_robson_formulas () =
+  (* M(1/2 log n + 1) - n + 1 at hand-checkable scale *)
+  Alcotest.(check (float 1e-9)) "1024/16" (1024.0 *. 3.0 -. 15.0)
+    (Robson.lower_bound_pow2 ~m:1024 ~n:16);
+  Alcotest.(check (float 1e-9)) "upper = lower (matching)"
+    (Robson.lower_bound_pow2 ~m:1024 ~n:16)
+    (Robson.upper_bound_pow2 ~m:1024 ~n:16);
+  Alcotest.(check (float 1e-9)) "general doubles"
+    (2.0 *. Robson.lower_bound_pow2 ~m:1024 ~n:16)
+    (Robson.upper_bound_general ~m:1024 ~n:16);
+  Alcotest.check_raises "n > m rejected" (Invalid_argument "Robson: need n <= m")
+    (fun () -> ignore (Robson.lower_bound_pow2 ~m:16 ~n:1024))
+
+let test_bp_upper () =
+  Alcotest.(check (float 1e-9)) "(c+1)M" 9216.0
+    (Bendersky_petrank.upper_bound ~m:1024 ~c:8.0)
+
+let test_stage2_fraction () =
+  (* x = (1 - 2^-l h)/(l+1) stays in (0, 1) at the paper's scale *)
+  match Cohen_petrank.best ~m:m_paper ~n:n_paper ~c:50.0 with
+  | Some { ell; _ } -> (
+      match
+        Cohen_petrank.stage2_allocation_fraction ~m:m_paper ~n:n_paper ~c:50.0
+          ~ell
+      with
+      | Some x -> Alcotest.(check bool) "x in (0,1)" true (x > 0.0 && x < 1.0)
+      | None -> Alcotest.fail "expected x")
+  | None -> Alcotest.fail "expected best"
+
+let test_logf () =
+  Alcotest.(check int) "log2_exact" 10 (Logf.log2_exact 1024);
+  Alcotest.check_raises "non-pow2"
+    (Invalid_argument "Logf.log2_exact: not a positive power of two")
+    (fun () -> ignore (Logf.log2_exact 1000));
+  Alcotest.(check (float 1e-9)) "log2i" 10.0 (Logf.log2i 1024)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "paper numbers",
+        [
+          Alcotest.test_case "Figure 1 anchors" `Quick test_paper_anchor_points;
+          Alcotest.test_case "Robson quote" `Quick test_paper_robson_quote;
+          Alcotest.test_case "BP vacuous at paper scale" `Quick
+            test_bp_vacuous_at_paper_scale;
+          Alcotest.test_case "BP meaningful at huge scale" `Quick
+            test_bp_meaningful_at_huge_scale;
+        ] );
+      ( "theorem 1",
+        [
+          Alcotest.test_case "s1 factor" `Quick test_s1_factor;
+          Alcotest.test_case "ell limit" `Quick test_ell_limit;
+          Alcotest.test_case "side conditions" `Quick test_h_side_conditions;
+          Alcotest.test_case "best is argmax" `Quick test_best_picks_argmax;
+          Alcotest.test_case "clamped to trivial" `Quick test_lower_bound_clamped;
+          Alcotest.test_case "stage-2 fraction" `Quick test_stage2_fraction;
+        ] );
+      ( "theorem 2",
+        [
+          Alcotest.test_case "coefficients" `Quick test_theorem2_coefficients;
+          Alcotest.test_case "side condition" `Quick test_theorem2_side_condition;
+          Alcotest.test_case "improves in range" `Quick
+            test_theorem2_improves_in_range;
+        ] );
+      ( "context bounds",
+        [
+          Alcotest.test_case "Robson formulas" `Quick test_robson_formulas;
+          Alcotest.test_case "BP upper" `Quick test_bp_upper;
+          Alcotest.test_case "logf" `Quick test_logf;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_h_monotone_in_c; prop_h_monotone_in_n ] );
+    ]

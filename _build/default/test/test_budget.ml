@@ -1,0 +1,87 @@
+open Pc_heap
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_quota_math () =
+  let b = Budget.create ~c:8.0 in
+  check_int "empty quota" 0 (Budget.quota b);
+  check_int "empty available" 0 (Budget.available b);
+  check_bool "cannot move yet" false (Budget.can_move b 1);
+  Budget.on_alloc b 100;
+  check_int "quota 100/8" 12 (Budget.quota b);
+  check_int "available" 12 (Budget.available b);
+  Budget.charge_move b 10;
+  check_int "available after move" 2 (Budget.available b);
+  Budget.on_alloc b 60;
+  check_int "quota recharges" 20 (Budget.quota b);
+  check_int "available recharged" 10 (Budget.available b);
+  check_bool "compliant" true (Budget.is_compliant b)
+
+let test_exceeded () =
+  let b = Budget.create ~c:4.0 in
+  Budget.on_alloc b 16;
+  Budget.charge_move b 4;
+  (try
+     Budget.charge_move b 1;
+     Alcotest.fail "expected Exceeded"
+   with Budget.Exceeded { requested; available } ->
+     check_int "requested" 1 requested;
+     check_int "available" 0 available);
+  check_bool "still compliant after rejection" true (Budget.is_compliant b)
+
+let test_fractional_c () =
+  let b = Budget.create ~c:1.5 in
+  Budget.on_alloc b 9;
+  check_int "quota floor(9/1.5)" 6 (Budget.quota b)
+
+let test_unlimited () =
+  let b = Budget.unlimited () in
+  check_bool "is unlimited" true (Budget.is_unlimited b);
+  Budget.charge_move b 1_000_000;
+  check_bool "never exceeded" true (Budget.is_compliant b)
+
+let test_create_validation () =
+  Alcotest.check_raises "c = 1 rejected" (Invalid_argument "Budget.create: need c > 1")
+    (fun () -> ignore (Budget.create ~c:1.0))
+
+(* Any interleaving of allocations and affordable moves keeps the
+   budget compliant, and the quota equals floor(allocated/c). *)
+let prop_accounting =
+  QCheck.Test.make ~name:"interleaved alloc/move accounting"
+    QCheck.(triple (int_bound 100_000) (int_range 2 64) (int_range 1 200))
+    (fun (seed, c, steps) ->
+      let st = Random.State.make [| seed |] in
+      let b = Budget.create ~c:(float_of_int c) in
+      let allocated = ref 0 and moved = ref 0 in
+      for _ = 1 to steps do
+        if Random.State.bool st then begin
+          let words = 1 + Random.State.int st 100 in
+          Budget.on_alloc b words;
+          allocated := !allocated + words
+        end
+        else begin
+          let want = 1 + Random.State.int st 20 in
+          if Budget.can_move b want then begin
+            Budget.charge_move b want;
+            moved := !moved + want
+          end
+        end
+      done;
+      Budget.is_compliant b
+      && Budget.quota b = !allocated / c
+      && Budget.available b = (!allocated / c) - !moved)
+
+let () =
+  Alcotest.run "budget"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "quota math" `Quick test_quota_math;
+          Alcotest.test_case "exceeded" `Quick test_exceeded;
+          Alcotest.test_case "fractional c" `Quick test_fractional_c;
+          Alcotest.test_case "unlimited" `Quick test_unlimited;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_accounting ]);
+    ]

@@ -1,0 +1,120 @@
+open Pc_heap
+open Pc_manager
+
+(* The shared eviction machinery: candidate discovery around gaps,
+   cost accounting (straddlers count fully), relocation targeting, and
+   budget-capped eviction. *)
+
+let ctx_with ~c layout =
+  let budget = Budget.create ~c in
+  let ctx = Ctx.create ~budget ~live_bound:65536 () in
+  let heap = Ctx.heap ctx in
+  let oids = List.map (fun (addr, size) -> Heap.alloc heap ~addr ~size) layout in
+  (ctx, heap, budget, oids)
+
+let test_window_cost () =
+  let _, heap, _, _ =
+    ctx_with ~c:4.0 [ (0, 10); (60, 16); (100, 4) ]
+  in
+  Alcotest.(check int) "empty window" 0 (Evict.window_cost heap ~start:16 ~size:32);
+  Alcotest.(check int) "contained object" 4
+    (Evict.window_cost heap ~start:96 ~size:16);
+  (* the 16-word object at [60,76) straddles the window [64,128): it
+     counts at FULL size, because evicting the window means moving the
+     whole object *)
+  Alcotest.(check int) "straddler counts fully" (16 + 4)
+    (Evict.window_cost heap ~start:64 ~size:64)
+
+let test_window_candidates_order () =
+  (* three windows of size 32 with occupancies 0 (skipped by gap
+     discovery only if empty — empty windows still listed), 2, 12:
+     candidates come cheapest first *)
+  let ctx, _, _, _ =
+    ctx_with ~c:4.0 [ (0, 30); (34, 2); (64, 12); (120, 8) ]
+  in
+  let cands = Evict.window_candidates ctx ~size:32 ~align:32 in
+  (match cands with
+  | first :: second :: _ ->
+      Alcotest.(check int) "cheapest window" 32 first.window_start;
+      Alcotest.(check int) "cheapest cost" 2 first.cost;
+      Alcotest.(check bool) "ordered by cost" true (second.cost >= first.cost)
+  | _ -> Alcotest.fail "expected at least two candidates");
+  (* all candidates lie below the frontier and on the alignment grid *)
+  List.iter
+    (fun (c : Evict.candidate) ->
+      Alcotest.(check int) "aligned" 0 (c.window_start mod 32);
+      Alcotest.(check bool) "below frontier" true (c.window_start + 32 <= 128))
+    cands
+
+let test_relocate_avoids_window () =
+  let ctx, heap, _, oids = ctx_with ~c:4.0 [ (0, 28); (34, 2); (120, 20) ] in
+  ignore oids;
+  (* gaps: [28,34) = 6, [36,120) = 84. Avoid [32,64): the first-fit
+     target for a 2-word object would be 28 (fine), but for a 40-word
+     object the only gap big enough starts inside the window —
+     relocation must resume at 64 ([64,104) fits within [36,120)). *)
+  let avoid = Interval.of_extent ~start:32 ~len:32 in
+  let small = { Heap.oid = Oid.of_int 99; addr = 34; size = 2 } in
+  Alcotest.(check (option int)) "small object to early gap" (Some 28)
+    (Evict.relocate_first_fit ctx ~avoid small);
+  let large = { Heap.oid = Oid.of_int 98; addr = 34; size = 40 } in
+  Alcotest.(check (option int)) "large object past the window" (Some 64)
+    (Evict.relocate_first_fit ctx ~avoid large);
+  ignore heap
+
+(* Layout with no fully-free aligned 32-word window: the cheapest
+   window is [32,64) at cost 12. *)
+let capped_layout = [ (0, 30); (40, 12); (64, 28); (112, 8) ]
+
+let test_try_evict_respects_budget () =
+  (* The cheapest window costs 12 but the quota is 1: eviction must
+     fail and move nothing. *)
+  let ctx, heap, budget, _ = ctx_with ~c:64.0 capped_layout in
+  (* allocated = 78, quota = 78/64 = 1 *)
+  Alcotest.(check int) "tiny quota" 1 (Budget.available budget);
+  let r = Evict.try_evict ctx ~size:32 ~align:32 ~move_cap:100 in
+  Alcotest.(check bool) "no eviction" true (r = None);
+  Alcotest.(check int) "nothing moved" 0 (Heap.moved_total heap)
+
+let test_try_evict_move_cap () =
+  (* Plenty of budget but a small move_cap: same refusal. *)
+  let ctx, heap, _, _ = ctx_with ~c:2.0 capped_layout in
+  let r = Evict.try_evict ctx ~size:32 ~align:32 ~move_cap:4 in
+  Alcotest.(check bool) "cap refuses" true (r = None);
+  Alcotest.(check int) "nothing moved" 0 (Heap.moved_total heap);
+  (* raise the cap: [32,64) clears; its 12-word occupant cannot use
+     the [52,64) gap (inside the window) and lands at [92,104) *)
+  let r = Evict.try_evict ctx ~size:32 ~align:32 ~move_cap:16 in
+  Alcotest.(check (option int)) "window cleared" (Some 32) r;
+  Alcotest.(check bool) "free now" true (Heap.is_free heap ~addr:32 ~size:32);
+  Alcotest.(check int) "moved the occupant" 12 (Heap.moved_total heap)
+
+let test_try_evict_straddler () =
+  (* An object straddling the window boundary must be moved whole. *)
+  let ctx, heap, _, oids = ctx_with ~c:2.0 [ (0, 24); (60, 8); (96, 30) ] in
+  let straddler = List.nth oids 1 in
+  (* object [60,68) straddles windows [32,64) and [64,96) *)
+  let r = Evict.try_evict ctx ~size:32 ~align:32 ~move_cap:32 in
+  Alcotest.(check (option int)) "cleared a window" (Some 32) r;
+  Alcotest.(check bool) "straddler moved entirely" true
+    (let a = Heap.addr heap straddler in
+     a + 8 <= 32 || a >= 64);
+  Alcotest.(check int) "charged full size" 8 (Heap.moved_total heap)
+
+let () =
+  Alcotest.run "evict"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "window cost" `Quick test_window_cost;
+          Alcotest.test_case "candidate order" `Quick
+            test_window_candidates_order;
+          Alcotest.test_case "relocation avoids window" `Quick
+            test_relocate_avoids_window;
+          Alcotest.test_case "budget respected" `Quick
+            test_try_evict_respects_budget;
+          Alcotest.test_case "move cap" `Quick test_try_evict_move_cap;
+          Alcotest.test_case "straddler moved whole" `Quick
+            test_try_evict_straddler;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+open Pc_heap
+
+(* The free index is exercised with random occupy/release scripts and
+   compared against a boolean-array reference model of the address
+   space. *)
+
+let span = 512
+
+module Model = struct
+  (* boolean occupancy array over [0, span): true = occupied *)
+  let create () = Array.make span false
+  let is_free m ~addr ~len =
+    addr + len <= span
+    && (let rec loop i = i >= addr + len || ((not m.(i)) && loop (i + 1)) in
+        loop addr)
+
+  let occupy m ~addr ~len =
+    for i = addr to addr + len - 1 do
+      m.(i) <- true
+    done
+
+  let release m ~addr ~len =
+    for i = addr to addr + len - 1 do
+      m.(i) <- false
+    done
+
+  (* Maximal free runs strictly below the highest occupied address+1. *)
+  let frontier m =
+    let rec loop i = if i = 0 then 0 else if m.(i - 1) then i else loop (i - 1) in
+    loop span
+
+  let first_fit m ~size =
+    let f = frontier m in
+    let rec loop a run =
+      if a >= f then None
+      else if m.(a) then loop (a + 1) 0
+      else begin
+        let run = run + 1 in
+        if run = size then Some (a - size + 1) else loop (a + 1) run
+      end
+    in
+    loop 0 0
+end
+
+(* A random script of valid operations, executed against both. *)
+let run_script seed steps =
+  let st = Random.State.make [| seed |] in
+  let model = Model.create () in
+  let index = Free_index.create () in
+  let live = ref [] in
+  (* (addr, len) list *)
+  let script_ok = ref true in
+  for _ = 1 to steps do
+    let do_alloc = Random.State.bool st || !live = [] in
+    if do_alloc then begin
+      let len = 1 + Random.State.int st 24 in
+      let addr = Random.State.int st (span - len) in
+      if Model.is_free model ~addr ~len then begin
+        Model.occupy model ~addr ~len;
+        Free_index.occupy index ~addr ~len;
+        live := (addr, len) :: !live
+      end
+    end
+    else begin
+      match !live with
+      | [] -> ()
+      | (addr, len) :: rest ->
+          Model.release model ~addr ~len;
+          Free_index.release index ~addr ~len;
+          live := rest
+    end;
+    Free_index.check_invariants index;
+    (* frontier agreement *)
+    if Free_index.frontier index <> Model.frontier model then
+      script_ok := false;
+    (* spot-check point queries *)
+    let a = Random.State.int st span in
+    let l = 1 + Random.State.int st 8 in
+    if
+      a + l <= Model.frontier model
+      && Free_index.is_free index ~addr:a ~len:l <> Model.is_free model ~addr:a ~len:l
+    then script_ok := false;
+    (* first-fit agreement below the frontier *)
+    let size = 1 + Random.State.int st 16 in
+    let ff_index = Free_index.first_fit_gap index ~size in
+    let ff_model = Model.first_fit model ~size in
+    if ff_index <> ff_model then script_ok := false
+  done;
+  !script_ok
+
+let prop_against_model =
+  QCheck.Test.make ~name:"random occupy/release agrees with model"
+    ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 10 300))
+    (fun (seed, steps) -> run_script seed steps)
+
+let test_tail_carving () =
+  let t = Free_index.create () in
+  Alcotest.(check int) "initial frontier" 0 (Free_index.frontier t);
+  Free_index.occupy t ~addr:10 ~len:5;
+  Alcotest.(check int) "frontier jumps" 15 (Free_index.frontier t);
+  Alcotest.(check int) "gap created below" 1 (Free_index.gap_count t);
+  Alcotest.(check int) "gap words" 10 (Free_index.free_below_frontier t);
+  Free_index.release t ~addr:10 ~len:5;
+  Alcotest.(check int) "frontier retracts fully" 0 (Free_index.frontier t);
+  Alcotest.(check int) "no gaps" 0 (Free_index.gap_count t)
+
+let test_coalescing () =
+  let t = Free_index.create () in
+  Free_index.occupy t ~addr:0 ~len:30;
+  Free_index.release t ~addr:5 ~len:5;
+  Free_index.release t ~addr:15 ~len:5;
+  Alcotest.(check int) "two gaps" 2 (Free_index.gap_count t);
+  (* releasing the middle merges all three into one *)
+  Free_index.release t ~addr:10 ~len:5;
+  Alcotest.(check int) "one gap" 1 (Free_index.gap_count t);
+  Alcotest.(check (list (pair int int))) "merged" [ (5, 15) ] (Free_index.gaps t);
+  Free_index.check_invariants t
+
+let test_double_free_rejected () =
+  let t = Free_index.create () in
+  Free_index.occupy t ~addr:0 ~len:10;
+  Free_index.release t ~addr:2 ~len:3;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Free_index.release: extent already free") (fun () ->
+      Free_index.release t ~addr:2 ~len:3);
+  Alcotest.check_raises "overlapping free"
+    (Invalid_argument "Free_index.release: extent already free") (fun () ->
+      Free_index.release t ~addr:0 ~len:10)
+
+let test_occupy_occupied_rejected () =
+  let t = Free_index.create () in
+  Free_index.occupy t ~addr:0 ~len:10;
+  Alcotest.check_raises "overlap below frontier"
+    (Invalid_argument "Free_index.occupy: extent not free") (fun () ->
+      Free_index.occupy t ~addr:5 ~len:3)
+
+let test_fit_queries () =
+  let t = Free_index.create () in
+  Free_index.occupy t ~addr:0 ~len:100;
+  Free_index.release t ~addr:10 ~len:4;
+  (* gap A: [10,14) *)
+  Free_index.release t ~addr:30 ~len:16;
+  (* gap B: [30,46) *)
+  Free_index.release t ~addr:60 ~len:8;
+  (* gap C: [60,68) *)
+  (match Free_index.first_fit t ~size:5 with
+  | Free_index.Gap a -> Alcotest.(check int) "first fit size 5" 30 a
+  | Free_index.Tail _ -> Alcotest.fail "expected gap");
+  Alcotest.(check (option int)) "best fit size 5" (Some 60)
+    (Free_index.best_fit_gap t ~size:5);
+  Alcotest.(check (option int)) "worst fit" (Some 30)
+    (Free_index.worst_fit_gap t ~size:5);
+  Alcotest.(check (option int)) "from 40: fits in gap B's remainder"
+    (Some 40)
+    (Free_index.first_fit_from t ~from:40 ~size:5);
+  Alcotest.(check (option int)) "from 43: remainder too small, skip to C"
+    (Some 60)
+    (Free_index.first_fit_from t ~from:43 ~size:5);
+  (match Free_index.first_aligned_fit t ~size:8 ~align:8 with
+  | Free_index.Gap a -> Alcotest.(check int) "aligned 8" 32 a
+  | Free_index.Tail _ -> Alcotest.fail "expected aligned gap");
+  (* aligned fit that only the tail satisfies *)
+  (match Free_index.first_aligned_fit t ~size:16 ~align:16 with
+  | Free_index.Tail a -> Alcotest.(check int) "tail aligned" 112 a
+  | Free_index.Gap a -> Alcotest.failf "expected tail, got gap %d" a);
+  Alcotest.(check (list (pair int int))) "largest gaps" [ (30, 16); (60, 8) ]
+    (Free_index.largest_gaps t ~k:2)
+
+let () =
+  Alcotest.run "free_index"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "tail carving" `Quick test_tail_carving;
+          Alcotest.test_case "coalescing" `Quick test_coalescing;
+          Alcotest.test_case "double free" `Quick test_double_free_rejected;
+          Alcotest.test_case "occupy occupied" `Quick test_occupy_occupied_rejected;
+          Alcotest.test_case "fit queries" `Quick test_fit_queries;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_against_model ] );
+    ]

@@ -1,0 +1,187 @@
+open Pc_heap
+
+let check_int = Alcotest.(check int)
+
+let test_alloc_free_basics () =
+  let h = Heap.create () in
+  let a = Heap.alloc h ~addr:0 ~size:10 in
+  let b = Heap.alloc h ~addr:20 ~size:5 in
+  check_int "live words" 15 (Heap.live_words h);
+  check_int "live objects" 2 (Heap.live_objects h);
+  check_int "allocated total" 15 (Heap.allocated_total h);
+  check_int "high water" 25 (Heap.high_water h);
+  check_int "addr a" 0 (Heap.addr h a);
+  check_int "size b" 5 (Heap.size h b);
+  Heap.free h a;
+  check_int "live after free" 5 (Heap.live_words h);
+  check_int "freed total" 10 (Heap.freed_total h);
+  check_int "high water sticky" 25 (Heap.high_water h);
+  Heap.check_invariants h
+
+let test_overlap_rejected () =
+  let h = Heap.create () in
+  ignore (Heap.alloc h ~addr:0 ~size:10 : Oid.t);
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Free_index.occupy: extent not free") (fun () ->
+      ignore (Heap.alloc h ~addr:5 ~size:10 : Oid.t));
+  Alcotest.check_raises "bad size" (Invalid_argument "Heap.alloc: non-positive size")
+    (fun () -> ignore (Heap.alloc h ~addr:50 ~size:0 : Oid.t))
+
+let test_double_free_rejected () =
+  let h = Heap.create () in
+  let a = Heap.alloc h ~addr:0 ~size:4 in
+  Heap.free h a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Heap.get: unknown or dead object") (fun () ->
+      Heap.free h a)
+
+let test_move () =
+  let h = Heap.create () in
+  let a = Heap.alloc h ~addr:0 ~size:8 in
+  let _b = Heap.alloc h ~addr:8 ~size:8 in
+  Heap.move h a ~dst:32;
+  check_int "moved addr" 32 (Heap.addr h a);
+  check_int "moved total" 8 (Heap.moved_total h);
+  check_int "hwm follows move" 40 (Heap.high_water h);
+  check_int "live unchanged" 16 (Heap.live_words h);
+  Heap.check_invariants h;
+  (* moving onto an occupied extent must fail and roll back *)
+  Alcotest.check_raises "move onto occupied"
+    (Invalid_argument "Free_index.occupy: extent not free") (fun () ->
+      Heap.move h a ~dst:8);
+  check_int "rollback kept address" 32 (Heap.addr h a);
+  Heap.check_invariants h
+
+let test_sliding_move () =
+  let h = Heap.create () in
+  let a = Heap.alloc h ~addr:10 ~size:8 in
+  (* overlapping slide down: [10,18) -> [6,14) *)
+  Heap.move h a ~dst:6;
+  check_int "slid" 6 (Heap.addr h a);
+  check_int "moved total" 8 (Heap.moved_total h);
+  Heap.check_invariants h
+
+let test_move_noop () =
+  let h = Heap.create () in
+  let a = Heap.alloc h ~addr:4 ~size:4 in
+  Heap.move h a ~dst:4;
+  check_int "noop move costs nothing" 0 (Heap.moved_total h)
+
+let test_objects_in () =
+  let h = Heap.create () in
+  let _a = Heap.alloc h ~addr:0 ~size:10 in
+  let _b = Heap.alloc h ~addr:16 ~size:8 in
+  let _c = Heap.alloc h ~addr:30 ~size:4 in
+  let names objs = List.map (fun (o : Heap.obj) -> o.addr) objs in
+  Alcotest.(check (list int)) "straddler included" [ 0; 16 ]
+    (names (Heap.objects_in h ~start:5 ~stop:20));
+  Alcotest.(check (list int)) "exact range" [ 16 ]
+    (names (Heap.objects_in h ~start:16 ~stop:24));
+  Alcotest.(check (list int)) "empty range" []
+    (names (Heap.objects_in h ~start:10 ~stop:16));
+  check_int "occupied words straddle" 9
+    (Heap.occupied_words_in h ~start:5 ~stop:20);
+  check_int "occupied words all" 22 (Heap.occupied_words_in h ~start:0 ~stop:40)
+
+let test_events () =
+  let h = Heap.create () in
+  let log = ref [] in
+  Heap.on_event h (fun e -> log := e :: !log);
+  let a = Heap.alloc h ~addr:0 ~size:4 in
+  Heap.move h a ~dst:8;
+  Heap.free h a;
+  match List.rev !log with
+  | [ Heap.Alloc o1; Heap.Move m; Heap.Free o2 ] ->
+      check_int "alloc addr" 0 o1.addr;
+      check_int "move src" 0 m.src;
+      check_int "move dst" 8 m.dst;
+      check_int "free addr" 8 o2.addr
+  | evs -> Alcotest.failf "unexpected event sequence (%d events)" (List.length evs)
+
+(* Random operation scripts preserve every heap invariant, and the
+   recorded trace replays to an identical heap. *)
+let prop_random_ops_invariants =
+  QCheck.Test.make ~name:"random ops: invariants hold and trace replays"
+    ~count:40
+    QCheck.(pair (int_bound 100_000) (int_range 10 200))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed |] in
+      let h = Heap.create () in
+      let trace = Trace.create () in
+      Trace.record trace h;
+      let live = ref [] in
+      for _ = 1 to steps do
+        match Random.State.int st 4 with
+        | 0 | 1 ->
+            let size = 1 + Random.State.int st 16 in
+            let addr = Random.State.int st 256 in
+            if Heap.is_free h ~addr ~size then
+              live := Heap.alloc h ~addr ~size :: !live
+        | 2 -> (
+            match !live with
+            | [] -> ()
+            | oid :: rest ->
+                Heap.free h oid;
+                live := rest)
+        | _ -> (
+            match !live with
+            | [] -> ()
+            | oid :: _ ->
+                let size = Heap.size h oid in
+                let dst = Random.State.int st 256 in
+                let cur = Heap.addr h oid in
+                if
+                  dst <> cur
+                  && (dst + size <= cur || dst >= cur + size)
+                  && Heap.is_free h ~addr:dst ~size
+                then Heap.move h oid ~dst)
+      done;
+      Heap.check_invariants h;
+      let replayed = Trace.replay trace in
+      Heap.check_invariants replayed;
+      Heap.high_water replayed = Heap.high_water h
+      && Heap.live_words replayed = Heap.live_words h
+      && Heap.moved_total replayed = Heap.moved_total h
+      && List.for_all
+           (fun oid ->
+             Heap.addr replayed oid = Heap.addr h oid
+             && Heap.size replayed oid = Heap.size h oid)
+           !live)
+
+(* occupied_words_in agrees with a per-word brute force count. *)
+let prop_occupied_words =
+  QCheck.Test.make ~name:"occupied_words_in matches brute force" ~count:40
+    QCheck.(triple (int_bound 100_000) (int_bound 200) (int_range 1 60))
+    (fun (seed, start, len) ->
+      let st = Random.State.make [| seed |] in
+      let h = Heap.create () in
+      for _ = 1 to 30 do
+        let size = 1 + Random.State.int st 12 in
+        let addr = Random.State.int st 200 in
+        if Heap.is_free h ~addr ~size then
+          ignore (Heap.alloc h ~addr ~size : Oid.t)
+      done;
+      let brute = ref 0 in
+      for w = start to start + len - 1 do
+        if not (Heap.is_free h ~addr:w ~size:1) then incr brute
+      done;
+      Heap.occupied_words_in h ~start ~stop:(start + len) = !brute)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "alloc/free basics" `Quick test_alloc_free_basics;
+          Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+          Alcotest.test_case "double free rejected" `Quick test_double_free_rejected;
+          Alcotest.test_case "move" `Quick test_move;
+          Alcotest.test_case "sliding move" `Quick test_sliding_move;
+          Alcotest.test_case "noop move" `Quick test_move_noop;
+          Alcotest.test_case "objects_in" `Quick test_objects_in;
+          Alcotest.test_case "events" `Quick test_events;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_ops_invariants; prop_occupied_words ] );
+    ]

@@ -1,0 +1,87 @@
+open Pc_heap
+
+let iv start stop = Interval.make ~start ~stop
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make () =
+  let t = iv 3 7 in
+  check_int "start" 3 (Interval.start t);
+  check_int "stop" 7 (Interval.stop t);
+  check_int "length" 4 (Interval.length t);
+  check_bool "empty" true (Interval.is_empty (iv 5 5));
+  Alcotest.check_raises "reversed"
+    (Invalid_argument "Interval.make: need 0 <= start <= stop") (fun () ->
+      ignore (iv 7 3));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Interval.make: need 0 <= start <= stop") (fun () ->
+      ignore (iv (-1) 3))
+
+let test_contains () =
+  let t = iv 3 7 in
+  check_bool "left edge" true (Interval.contains t 3);
+  check_bool "inside" true (Interval.contains t 5);
+  check_bool "right edge is out" false (Interval.contains t 7);
+  check_bool "before" false (Interval.contains t 2)
+
+let test_relations () =
+  check_bool "overlap" true (Interval.overlaps (iv 0 5) (iv 4 9));
+  check_bool "touching do not overlap" false (Interval.overlaps (iv 0 5) (iv 5 9));
+  check_bool "touching adjacent" true (Interval.adjacent (iv 0 5) (iv 5 9));
+  check_bool "gap not adjacent" false (Interval.adjacent (iv 0 5) (iv 6 9));
+  check_bool "includes" true (Interval.includes (iv 0 10) (iv 3 7));
+  check_bool "not includes" false (Interval.includes (iv 0 10) (iv 3 11))
+
+let test_join_inter () =
+  Alcotest.(check bool)
+    "join touching" true
+    (Interval.equal (Interval.join (iv 0 5) (iv 5 9)) (iv 0 9));
+  Alcotest.(check bool)
+    "join overlap" true
+    (Interval.equal (Interval.join (iv 0 6) (iv 4 9)) (iv 0 9));
+  Alcotest.check_raises "join disjoint"
+    (Invalid_argument "Interval.join: intervals neither overlap nor touch")
+    (fun () -> ignore (Interval.join (iv 0 4) (iv 6 9)));
+  (match Interval.inter (iv 0 6) (iv 4 9) with
+  | Some t -> check_bool "inter" true (Interval.equal t (iv 4 6))
+  | None -> Alcotest.fail "expected intersection");
+  check_bool "inter disjoint" true (Interval.inter (iv 0 4) (iv 5 9) = None);
+  check_bool "inter touching" true (Interval.inter (iv 0 5) (iv 5 9) = None)
+
+let arb_interval =
+  QCheck.map
+    (fun (a, b) -> iv (min a b) (max a b))
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlaps is symmetric"
+    QCheck.(pair arb_interval arb_interval)
+    (fun (a, b) -> Interval.overlaps a b = Interval.overlaps b a)
+
+let prop_inter_overlap =
+  QCheck.Test.make ~name:"inter is Some iff overlaps"
+    QCheck.(pair arb_interval arb_interval)
+    (fun (a, b) -> Option.is_some (Interval.inter a b) = Interval.overlaps a b)
+
+let prop_join_includes =
+  QCheck.Test.make ~name:"join includes both arguments"
+    QCheck.(pair arb_interval arb_interval)
+    (fun (a, b) ->
+      QCheck.assume (Interval.overlaps a b || Interval.adjacent a b);
+      let j = Interval.join a b in
+      Interval.includes j a && Interval.includes j b)
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "relations" `Quick test_relations;
+          Alcotest.test_case "join/inter" `Quick test_join_inter;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_overlap_symmetric; prop_inter_overlap; prop_join_includes ] );
+    ]

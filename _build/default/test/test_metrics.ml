@@ -1,0 +1,107 @@
+open Pc_heap
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A fixed scenario: objects at [0,10) and [20,25), so the frontier is
+   25 with one 10-word gap, and the high-water mark is 25. *)
+let scenario () =
+  let h = Heap.create () in
+  ignore (Heap.alloc h ~addr:0 ~size:10 : Oid.t);
+  ignore (Heap.alloc h ~addr:20 ~size:5 : Oid.t);
+  h
+
+let test_snapshot () =
+  let h = scenario () in
+  let s = Metrics.snapshot h in
+  check_int "live" 15 s.live_words;
+  check_int "objects" 2 s.live_objects;
+  check_int "hwm" 25 s.high_water;
+  check_int "frontier" 25 s.frontier;
+  check_int "gaps" 1 s.gap_count;
+  check_int "free" 10 s.free_below_frontier;
+  check_int "largest" 10 s.largest_gap;
+  check_float "waste" (25.0 /. 15.0) (Metrics.waste_factor s);
+  check_float "frag" 0.4 (Metrics.external_fragmentation s);
+  check_float "splinter (one gap)" 0.0 (Metrics.splintering s);
+  check_float "utilization" 0.6 (Metrics.utilization s)
+
+let test_empty_heap () =
+  let s = Metrics.snapshot (Heap.create ()) in
+  check_float "frag" 0.0 (Metrics.external_fragmentation s);
+  check_float "splinter" 0.0 (Metrics.splintering s);
+  check_float "utilization" 1.0 (Metrics.utilization s);
+  Alcotest.(check bool) "waste infinite" true
+    (Float.is_integer (Metrics.waste_factor s) = false
+    || Metrics.waste_factor s = Float.infinity)
+
+let test_histogram () =
+  let h = scenario () in
+  (* one gap of 10 words: bucket floor(log2 10) = 3 *)
+  let hist = Metrics.gap_histogram h in
+  check_int "bucket 3" 1 hist.(3);
+  check_int "total buckets" 1 (Array.fold_left ( + ) 0 hist)
+
+let test_layout_render () =
+  let h = scenario () in
+  Alcotest.(check string)
+    "render" "##########..........#####"
+    (Layout.render
+       ~config:{ Layout.words_per_cell = 1; cells_per_row = 80; chunk_words = None }
+       h);
+  Alcotest.(check string)
+    "render with chunk rules" "##########|..........|#####"
+    (Layout.render
+       ~config:
+         { Layout.words_per_cell = 1; cells_per_row = 80; chunk_words = Some 10 }
+       h);
+  (* 16-word cells: [0,16) holds 10 live words (mixed), [16,25) holds
+     5 of 9 (mixed). *)
+  Alcotest.(check string)
+    "coarse cells mix" "++"
+    (Layout.render
+       ~config:
+         { Layout.words_per_cell = 16; cells_per_row = 80; chunk_words = None }
+       h);
+  (* fully live coarse cell *)
+  let h2 = Heap.create () in
+  ignore (Heap.alloc h2 ~addr:0 ~size:16 : Oid.t);
+  ignore (Heap.alloc h2 ~addr:20 ~size:4 : Oid.t);
+  Alcotest.(check string)
+    "full and mixed" "#+"
+    (Layout.render
+       ~config:
+         { Layout.words_per_cell = 16; cells_per_row = 80; chunk_words = None }
+       h2)
+
+(* Minimal substring check to avoid a dependency. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1))
+  in
+  loop 0
+
+let test_layout_describe () =
+  let h = scenario () in
+  let text = Layout.describe h in
+  Alcotest.(check bool) "mentions gap" true
+    (contains text "[10,20) free (10 words)");
+  Alcotest.(check bool) "mentions object" true
+    (contains text "[0,10) object #0 (10 words)")
+
+let () =
+  Alcotest.run "metrics_layout"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot" `Quick test_snapshot;
+          Alcotest.test_case "empty heap" `Quick test_empty_heap;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "render" `Quick test_layout_render;
+          Alcotest.test_case "describe" `Quick test_layout_describe;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+open Pc_adversary
+
+(* End-to-end checks of the paper's program PF: configuration rules,
+   the potential-function invariants of Claim 4.16 (u never decreases;
+   u lower-bounds the heap size), budget compliance, and the Theorem 1
+   bound itself at a scale where discretisation noise is small. *)
+
+let test_config_validation () =
+  Alcotest.check_raises "needs M > n"
+    (Invalid_argument "Pf.config: need M > n") (fun () ->
+      ignore (Pf.config ~m:64 ~n:64 ~c:8.0 ()));
+  Alcotest.check_raises "needs room for stage 2"
+    (Invalid_argument "Pf.config: need 2l + 2 <= log2 n (stage 2 must exist)")
+    (fun () -> ignore (Pf.config ~ell:4 ~m:4096 ~n:64 ~c:64.0 ()));
+  Alcotest.check_raises "needs l >= 1"
+    (Invalid_argument "Pf.config: need l >= 1") (fun () ->
+      ignore (Pf.config ~ell:0 ~m:4096 ~n:64 ~c:8.0 ()));
+  let cfg = Pf.config ~m:(1 lsl 14) ~n:(1 lsl 6) ~c:8.0 () in
+  Alcotest.(check bool) "default ell valid" true (cfg.ell >= 1);
+  Alcotest.(check bool) "x in [0,1]" true (cfg.x >= 0.0 && cfg.x <= 1.0)
+
+let run_with_observer ~m ~n ~c ~manager_key =
+  let observations = ref [] in
+  let observe o = observations := o :: !observations in
+  let cfg, program = Pf.program ~observe ~m ~n ~c () in
+  let manager = Pc_manager.Registry.construct_exn manager_key in
+  let outcome = Runner.run ~c ~program ~manager () in
+  (cfg, outcome, List.rev !observations)
+
+let test_potential_monotone_and_bounds_hs () =
+  List.iter
+    (fun manager_key ->
+      let _, outcome, obs =
+        run_with_observer ~m:(1 lsl 14) ~n:(1 lsl 7) ~c:8.0 ~manager_key
+      in
+      Alcotest.(check bool) (manager_key ^ ": has observations") true
+        (List.length obs >= 2);
+      let rec check_monotone = function
+        | (a : Pf.observation) :: (b : Pf.observation) :: rest ->
+            Alcotest.(check bool)
+              (Fmt.str "%s: u monotone at step %d" manager_key b.step)
+              true
+              (b.potential >= a.potential);
+            check_monotone (b :: rest)
+        | [ _ ] | [] -> ()
+      in
+      check_monotone obs;
+      List.iter
+        (fun (o : Pf.observation) ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: u <= HS at step %d" manager_key o.step)
+            true
+            (o.potential <= o.high_water);
+          Alcotest.(check bool)
+            (Fmt.str "%s: live <= M at step %d" manager_key o.step)
+            true
+            (o.live_words <= 1 lsl 14))
+        obs;
+      Alcotest.(check bool) (manager_key ^ ": compliant") true
+        outcome.compliant)
+    [ "compacting"; "first-fit"; "improved-ac"; "bp-simple" ]
+
+let test_theorem1_bound_holds_at_scale () =
+  (* At M = 2^16, n = 2^8 the discretisation slack is ~n*steps/M < 2%;
+     measured HS must reach the Theorem 1 floor against every
+     compaction-capable manager. *)
+  List.iter
+    (fun manager_key ->
+      List.iter
+        (fun c ->
+          let cfg, outcome, _ =
+            run_with_observer ~m:(1 lsl 16) ~n:(1 lsl 8) ~c ~manager_key
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s: HS/M %.3f >= h %.3f at c=%g" manager_key
+               outcome.hs_over_m cfg.h c)
+            true
+            (outcome.hs_over_m >= cfg.h *. 0.98))
+        [ 8.0; 16.0; 32.0 ])
+    [ "compacting"; "improved-ac" ]
+
+let test_unlimited_compaction_stays_low () =
+  (* The same workload against the (c+1)M manager with c=4 stays well
+     below the c=16 lower bound — fragmentation is the budget's fault. *)
+  let _, program = Pf.program ~m:(1 lsl 14) ~n:(1 lsl 7) ~c:4.0 () in
+  let o =
+    Runner.run ~c:4.0 ~program ~manager:(Pc_manager.Bp_simple.make ()) ()
+  in
+  Alcotest.(check bool) "bp-simple within (c+1)M" true (o.hs_over_m <= 5.0)
+
+let test_more_budget_less_fragmentation () =
+  (* Directional: against the same manager family, shrinking the
+     budget (growing c) increases the forced heap size. *)
+  let hs c =
+    let _, outcome, _ =
+      run_with_observer ~m:(1 lsl 15) ~n:(1 lsl 7) ~c ~manager_key:"compacting"
+    in
+    outcome.hs_over_m
+  in
+  let h8 = hs 8.0 and h32 = hs 32.0 in
+  Alcotest.(check bool) (Fmt.str "HS/M grows with c (%.3f < %.3f)" h8 h32)
+    true (h8 < h32)
+
+let test_ghosts_never_exceed_m () =
+  (* live + ghost never exceeds M (the view's refill accounting). *)
+  let seen_bad = ref false in
+  let observe (o : Pf.observation) =
+    if o.present_words > 1 lsl 14 then seen_bad := true
+  in
+  let _, program = Pf.program ~observe ~m:(1 lsl 14) ~n:(1 lsl 7) ~c:8.0 () in
+  ignore
+    (Runner.run ~c:8.0 ~program
+       ~manager:(Pc_manager.Compacting.make ())
+       ());
+  Alcotest.(check bool) "present <= M throughout" false !seen_bad
+
+let test_observation_sequence () =
+  (* observations: one stage-1 snapshot at step 2l-1, then one per
+     stage-2 step 2l .. log n - 2 *)
+  let m = 1 lsl 13 and n = 1 lsl 7 in
+  let _, _, obs = run_with_observer ~m ~n ~c:8.0 ~manager_key:"first-fit" in
+  let cfg = Pf.config ~m ~n ~c:8.0 () in
+  let expected =
+    ((2 * cfg.ell) - 1)
+    :: List.init
+         (Pc_bounds.Logf.log2_exact n - 2 - (2 * cfg.ell) + 1)
+         (fun i -> (2 * cfg.ell) + i)
+  in
+  Alcotest.(check (list int))
+    "step sequence" expected
+    (List.map (fun (o : Pf.observation) -> o.step) obs)
+
+let test_claim_4_16_audit () =
+  (* The potential function must grow by >= 3/4 |o| - 2^l q(o) at
+     every stage-2 allocation (Claim 4.16), against every manager that
+     could plausibly violate it. [audit:true] raises on violation. *)
+  List.iter
+    (fun (key, c) ->
+      let _, program = Pf.program ~audit:true ~m:(1 lsl 13) ~n:(1 lsl 6) ~c () in
+      let manager = Pc_manager.Registry.construct_exn key in
+      let o = Runner.run ~c ~program ~manager () in
+      Alcotest.(check bool) (key ^ " audited run compliant") true o.compliant)
+    [
+      ("compacting", 8.0);
+      ("compacting", 16.0);
+      ("improved-ac", 16.0);
+      ("bp-simple", 8.0);
+      ("first-fit", 8.0);
+    ]
+
+let test_runs_against_every_manager () =
+  (* PF must complete and stay consistent against every registered
+     manager (heap invariants are checked by the runner at the end; the
+     driver enforces the live bound throughout). *)
+  List.iter
+    (fun (e : Pc_manager.Registry.entry) ->
+      let _, program = Pf.program ~m:(1 lsl 12) ~n:(1 lsl 6) ~c:8.0 () in
+      let o = Runner.run ~c:8.0 ~program ~manager:(e.construct ()) () in
+      Alcotest.(check bool) (e.key ^ " compliant") true o.compliant)
+    Pc_manager.Registry.entries
+
+let () =
+  Alcotest.run "pf"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "observation sequence" `Quick
+            test_observation_sequence;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "potential monotone, bounds HS" `Quick
+            test_potential_monotone_and_bounds_hs;
+          Alcotest.test_case "ghost accounting" `Quick
+            test_ghosts_never_exceed_m;
+          Alcotest.test_case "Claim 4.16 audit" `Quick test_claim_4_16_audit;
+          Alcotest.test_case "all managers" `Quick
+            test_runs_against_every_manager;
+        ] );
+      ( "theorem 1",
+        [
+          Alcotest.test_case "bound holds at scale" `Slow
+            test_theorem1_bound_holds_at_scale;
+          Alcotest.test_case "unlimited compaction stays low" `Quick
+            test_unlimited_compaction_stays_low;
+          Alcotest.test_case "budget monotonicity" `Quick
+            test_more_budget_less_fragmentation;
+        ] );
+    ]

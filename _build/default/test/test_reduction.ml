@@ -1,0 +1,95 @@
+open Pc_adversary
+
+(* Claim 4.8, executably: the ghost-hardened stage 1 against a real
+   compacting manager makes exactly the same decisions as Robson's
+   program against the imaginary manager A' built from its trace. *)
+
+let lockstep ?c manager_key ~m ~ell =
+  let manager = Pc_manager.Registry.construct_exn manager_key in
+  let real = Reduction.record ?c ~manager ~m ~ell () in
+  let imaginary = Reduction.replay_against_a_prime real in
+  (real, imaginary)
+
+let test_lockstep_non_moving () =
+  (* With a non-moving manager no ghosts arise; A' is just a spread-out
+     relabelling and the traces must agree. *)
+  let real, imaginary = lockstep "first-fit" ~m:(1 lsl 10) ~ell:3 in
+  (match Reduction.check real imaginary with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "offsets per step" 4 (Array.length real.offsets)
+
+let test_lockstep_compacting () =
+  (* The interesting case: the real manager moves objects, the program
+     ghosts them, and the executions must still stay in lockstep —
+     that is the whole point of the ghost device. *)
+  List.iter
+    (fun c ->
+      let real, imaginary =
+        lockstep ~c "compacting" ~m:(1 lsl 11) ~ell:3
+      in
+      match Reduction.check real imaginary with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "c=%g: %s" c msg)
+    [ 2.0; 4.0; 8.0 ]
+
+let test_lockstep_semispace () =
+  (* A manager that moves everything wholesale. *)
+  let real, imaginary = lockstep ~c:2.0 "semispace" ~m:(1 lsl 10) ~ell:2 in
+  match Reduction.check real imaginary with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_a_prime_is_fixed_point () =
+  (* A' of an A'-trace reproduces itself: the construction is
+     idempotent. *)
+  let _, imaginary = lockstep "first-fit" ~m:(1 lsl 9) ~ell:2 in
+  let again = Reduction.replay_against_a_prime imaginary in
+  match Reduction.check imaginary again with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_a_prime_rejects_divergence () =
+  let real, _ = lockstep "first-fit" ~m:256 ~ell:2 in
+  let mgr = Reduction.a_prime real in
+  let ctx = Pc_manager.Ctx.create ~live_bound:256 () in
+  (* wrong size at k = 0 *)
+  (try
+     ignore (Pc_manager.Manager.alloc mgr ctx ~size:5 : int);
+     Alcotest.fail "expected Mismatch"
+   with Reduction.Mismatch _ -> ());
+  (* A' placements are congruent to the recorded residues *)
+  let mgr = Reduction.a_prime real in
+  let size0, residue0 = real.entries.(0) in
+  let a = Pc_manager.Manager.alloc mgr ctx ~size:size0 in
+  Alcotest.(check int) "residue preserved" residue0 (a mod 4)
+
+(* Lockstep holds for every manager in the registry, under a tight
+   budget, across random ell. *)
+let prop_lockstep_all_managers =
+  QCheck.Test.make ~name:"Claim 4.8 lockstep for all managers" ~count:8
+    QCheck.(pair (int_range 1 3) (int_range 0 20))
+    (fun (ell, salt) ->
+      let keys = Pc_manager.Registry.keys in
+      let key = List.nth keys (salt mod List.length keys) in
+      let real, imaginary = lockstep ~c:3.0 key ~m:(1 lsl 9) ~ell in
+      match Reduction.check real imaginary with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "claim 4.8",
+        [
+          Alcotest.test_case "non-moving lockstep" `Quick
+            test_lockstep_non_moving;
+          Alcotest.test_case "compacting lockstep" `Quick
+            test_lockstep_compacting;
+          Alcotest.test_case "semispace lockstep" `Quick
+            test_lockstep_semispace;
+          Alcotest.test_case "A' fixed point" `Quick test_a_prime_is_fixed_point;
+          Alcotest.test_case "A' rejects divergence" `Quick
+            test_a_prime_rejects_divergence;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_lockstep_all_managers ] );
+    ]

@@ -1,0 +1,173 @@
+open Pc_heap
+open Pc_manager
+open Pc_adversary
+
+(* The interaction model: driver-level enforcement of the live bound,
+   move notifications, runner accounting, the view's ghost discipline,
+   and random-workload determinism. *)
+
+let simple_program ~live_bound ~max_size run =
+  Program.make ~name:"test" ~live_bound ~max_size run
+
+let test_live_bound_enforced () =
+  let program =
+    simple_program ~live_bound:16 ~max_size:8 (fun driver ->
+        ignore (Driver.alloc driver ~size:8);
+        ignore (Driver.alloc driver ~size:8);
+        match Driver.alloc driver ~size:1 with
+        | _ -> Alcotest.fail "expected Live_bound_exceeded"
+        | exception Driver.Live_bound_exceeded { requested; live; bound } ->
+            Alcotest.(check int) "requested" 1 requested;
+            Alcotest.(check int) "live" 16 live;
+            Alcotest.(check int) "bound" 16 bound)
+  in
+  ignore (Runner.run ~program ~manager:First_fit.manager ())
+
+let test_free_unblocks () =
+  let program =
+    simple_program ~live_bound:16 ~max_size:16 (fun driver ->
+        let a, _, _ = Driver.alloc driver ~size:16 in
+        Driver.free driver a;
+        ignore (Driver.alloc driver ~size:16))
+  in
+  let o = Runner.run ~program ~manager:First_fit.manager () in
+  Alcotest.(check int) "allocated total" 32 o.allocated;
+  Alcotest.(check int) "freed" 16 o.freed;
+  Alcotest.(check int) "final live" 16 o.final_live
+
+let test_move_notifications () =
+  (* A manager that always compacts everything to 0 before placing at
+     the frontier: the program must see the moves. *)
+  let slide_manager =
+    Manager.make ~name:"slide" (fun ctx ~size:_ ->
+        let heap = Ctx.heap ctx in
+        let cursor = ref 0 in
+        Heap.iter_live heap (fun o ->
+            if o.addr <> !cursor then Heap.move heap o.oid ~dst:!cursor;
+            cursor := !cursor + o.size);
+        Free_index.frontier (Ctx.free_index ctx))
+  in
+  let seen = ref [] in
+  let program =
+    simple_program ~live_bound:64 ~max_size:8 (fun driver ->
+        let a, addr_a, moves0 = Driver.alloc driver ~size:8 in
+        Alcotest.(check int) "first placement" 0 addr_a;
+        Alcotest.(check int) "no moves yet" 0 (List.length moves0);
+        Driver.free driver a;
+        let _, _, _ = Driver.alloc driver ~size:4 in
+        (* heap: one object at 4 after this alloc? no: slide moved
+           nothing (heap was empty), placed at 0. *)
+        let _, _, moves = Driver.alloc driver ~size:4 in
+        seen := moves;
+        ())
+  in
+  ignore (Runner.run ~program ~manager:slide_manager ());
+  Alcotest.(check int) "no move needed when packed" 0 (List.length !seen);
+  (* now force a move: leave a hole, then allocate *)
+  let seen = ref [] in
+  let program =
+    simple_program ~live_bound:64 ~max_size:8 (fun driver ->
+        let a, _, _ = Driver.alloc driver ~size:4 in
+        let _b, _, _ = Driver.alloc driver ~size:4 in
+        Driver.free driver a;
+        (* hole at [0,4); b at [4,8): slide moves b to 0 *)
+        let _, _, moves = Driver.alloc driver ~size:4 in
+        seen := moves)
+  in
+  ignore (Runner.run ~program ~manager:slide_manager ());
+  match !seen with
+  | [ { Driver.src = 4; dst = 0; size = 4; _ } ] -> ()
+  | l -> Alcotest.failf "unexpected moves (%d)" (List.length l)
+
+let test_runner_accounting () =
+  let program =
+    simple_program ~live_bound:100 ~max_size:10 (fun driver ->
+        let xs =
+          List.map (fun _ -> Driver.alloc driver ~size:10) [ 1; 2; 3 ]
+        in
+        match xs with
+        | (a, _, _) :: _ -> Driver.free driver a
+        | [] -> ())
+  in
+  let o = Runner.run ~c:8.0 ~program ~manager:First_fit.manager () in
+  Alcotest.(check int) "allocated" 30 o.allocated;
+  Alcotest.(check int) "freed" 10 o.freed;
+  Alcotest.(check int) "final live" 20 o.final_live;
+  Alcotest.(check int) "m recorded" 100 o.m;
+  Alcotest.(check int) "n recorded" 10 o.n;
+  Alcotest.(check bool) "c recorded" true (o.c = Some 8.0);
+  Alcotest.(check bool) "moved nothing" true (o.moved = 0 && o.compliant)
+
+let test_view_ghost_discipline () =
+  (* When the manager moves a tracked object, the view frees it on the
+     heap and keeps it as a ghost at its original address. *)
+  let evict_manager =
+    (* Places everything at the frontier, but first moves the oldest
+       live object 100 words up — guaranteeing a move per alloc. *)
+    Manager.make ~name:"evictor" (fun ctx ~size:_ ->
+        let heap = Ctx.heap ctx in
+        (match Heap.live_list heap with
+        | o :: _ -> Heap.move heap o.oid ~dst:(Heap.high_water heap + 100)
+        | [] -> ());
+        Free_index.frontier (Ctx.free_index ctx))
+  in
+  let program =
+    simple_program ~live_bound:64 ~max_size:8 (fun driver ->
+        let view = View.create driver in
+        let r1 = View.alloc view ~size:8 in
+        Alcotest.(check bool) "r1 live" false r1.ghost;
+        let _r2 = View.alloc view ~size:8 in
+        (* serving r2 moved r1: it must now be a ghost *)
+        Alcotest.(check bool) "r1 ghosted" true r1.ghost;
+        Alcotest.(check int) "present = live + ghost" 16
+          (View.present_words view);
+        Alcotest.(check int) "heap live only r2" 8 (View.live_words view);
+        (* freeing a ghost only drops it from the view *)
+        View.free view r1;
+        Alcotest.(check int) "present after ghost-free" 8
+          (View.present_words view))
+  in
+  ignore (Runner.run ~program ~manager:evict_manager ())
+
+let test_random_workload_deterministic () =
+  let outcome seed =
+    let program =
+      Random_workload.program ~seed ~churn:500 ~m:2048
+        ~dist:(Random_workload.Uniform { lo = 1; hi = 32 }) ~target_live:1024
+        ()
+    in
+    Runner.run ~program ~manager:First_fit.manager ()
+  in
+  let a = outcome 5 and b = outcome 5 and c = outcome 6 in
+  Alcotest.(check int) "same seed same HS" a.hs b.hs;
+  Alcotest.(check int) "same seed same churn" a.allocated b.allocated;
+  Alcotest.(check bool) "different seed differs" true
+    (a.hs <> c.hs || a.allocated <> c.allocated)
+
+let test_program_validation () =
+  Alcotest.check_raises "n > M rejected"
+    (Invalid_argument "Program.make: need n <= M") (fun () ->
+      ignore (simple_program ~live_bound:8 ~max_size:16 (fun _ -> ())))
+
+let () =
+  Alcotest.run "runner_driver"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "live bound enforced" `Quick test_live_bound_enforced;
+          Alcotest.test_case "free unblocks" `Quick test_free_unblocks;
+          Alcotest.test_case "move notifications" `Quick test_move_notifications;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "accounting" `Quick test_runner_accounting;
+          Alcotest.test_case "program validation" `Quick test_program_validation;
+        ] );
+      ( "view",
+        [ Alcotest.test_case "ghost discipline" `Quick test_view_ghost_discipline ] );
+      ( "random workload",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_random_workload_deterministic;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+open Pc_heap
+
+let scripted_trace () =
+  let h = Heap.create () in
+  let t = Trace.create () in
+  Trace.record t h;
+  let a = Heap.alloc h ~addr:0 ~size:4 in
+  let b = Heap.alloc h ~addr:8 ~size:4 in
+  Heap.move h a ~dst:16;
+  Heap.free h b;
+  (h, t)
+
+let test_length_and_order () =
+  let _, t = scripted_trace () in
+  Alcotest.(check int) "length" 4 (Trace.length t);
+  let kinds =
+    List.map
+      (fun (e : Trace.entry) ->
+        match e.event with
+        | Heap.Alloc _ -> "a"
+        | Heap.Free _ -> "f"
+        | Heap.Move _ -> "m")
+      (Trace.entries t)
+  in
+  Alcotest.(check (list string)) "order" [ "a"; "a"; "m"; "f" ] kinds
+
+let test_replay () =
+  let h, t = scripted_trace () in
+  let r = Trace.replay t in
+  Alcotest.(check int) "hwm" (Heap.high_water h) (Heap.high_water r);
+  Alcotest.(check int) "live" (Heap.live_words h) (Heap.live_words r);
+  Alcotest.(check int) "moved" (Heap.moved_total h) (Heap.moved_total r);
+  Heap.check_invariants r
+
+let test_serialization_roundtrip () =
+  let _, t = scripted_trace () in
+  let s = Trace.to_string t in
+  let t' = Trace.of_string s in
+  Alcotest.(check int) "length preserved" (Trace.length t) (Trace.length t');
+  Alcotest.(check string) "string stable" s (Trace.to_string t');
+  let r = Trace.replay t' in
+  Heap.check_invariants r;
+  Alcotest.(check int) "replayed hwm" 20 (Heap.high_water r)
+
+let test_parse_errors () =
+  (try
+     ignore (Trace.of_string "z 1 2 3");
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     Alcotest.(check bool) "message mentions line" true
+       (String.length msg > 0));
+  Alcotest.(check int) "empty string parses to empty trace" 0
+    (Trace.length (Trace.of_string ""))
+
+let test_format () =
+  let _, t = scripted_trace () in
+  Alcotest.(check string) "wire format"
+    "a 0 0 4\na 1 8 4\nm 0 0 16 4\nf 1 8 4\n" (Trace.to_string t)
+
+let test_stats () =
+  let _, t = scripted_trace () in
+  let s = Trace.stats t in
+  Alcotest.(check int) "events" 4 s.events;
+  Alcotest.(check int) "allocs" 2 s.allocs;
+  Alcotest.(check int) "frees" 1 s.frees;
+  Alcotest.(check int) "moves" 1 s.moves;
+  Alcotest.(check int) "allocated words" 8 s.allocated_words;
+  Alcotest.(check int) "freed words" 4 s.freed_words;
+  Alcotest.(check int) "moved words" 4 s.moved_words;
+  (* b was born at event 1, freed at event 3 *)
+  Alcotest.(check (float 1e-9)) "lifetime" 2.0 s.mean_lifetime;
+  Alcotest.(check int) "immortal (a survives)" 1 s.immortal;
+  Alcotest.(check int) "size bucket 2" 2 s.size_histogram.(2)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "length and order" `Quick test_length_and_order;
+          Alcotest.test_case "replay" `Quick test_replay;
+          Alcotest.test_case "roundtrip" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "wire format" `Quick test_format;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

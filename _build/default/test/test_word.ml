@@ -1,0 +1,95 @@
+open Pc_heap
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_is_pow2 () =
+  List.iter
+    (fun (x, expect) -> check_bool (Fmt.str "is_pow2 %d" x) expect (Word.is_pow2 x))
+    [
+      (1, true); (2, true); (4, true); (1024, true); (1 lsl 40, true);
+      (0, false); (-1, false); (-4, false); (3, false); (6, false);
+      (1023, false); (1025, false);
+    ]
+
+let test_pow2 () =
+  check_int "2^0" 1 (Word.pow2 0);
+  check_int "2^10" 1024 (Word.pow2 10);
+  check_int "2^61" (1 lsl 61) (Word.pow2 61);
+  Alcotest.check_raises "negative" (Invalid_argument "Word.pow2: exponent out of range")
+    (fun () -> ignore (Word.pow2 (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Word.pow2: exponent out of range")
+    (fun () -> ignore (Word.pow2 62))
+
+let test_log2 () =
+  check_int "floor 1" 0 (Word.log2_floor 1);
+  check_int "floor 2" 1 (Word.log2_floor 2);
+  check_int "floor 3" 1 (Word.log2_floor 3);
+  check_int "floor 4" 2 (Word.log2_floor 4);
+  check_int "floor 1023" 9 (Word.log2_floor 1023);
+  check_int "floor 1024" 10 (Word.log2_floor 1024);
+  check_int "ceil 1" 0 (Word.log2_ceil 1);
+  check_int "ceil 3" 2 (Word.log2_ceil 3);
+  check_int "ceil 4" 2 (Word.log2_ceil 4);
+  check_int "ceil 5" 3 (Word.log2_ceil 5);
+  Alcotest.check_raises "log2_floor 0"
+    (Invalid_argument "Word.log2_floor: non-positive argument") (fun () ->
+      ignore (Word.log2_floor 0))
+
+let test_round_up_pow2 () =
+  List.iter
+    (fun (x, expect) -> check_int (Fmt.str "round %d" x) expect (Word.round_up_pow2 x))
+    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (1000, 1024); (1024, 1024) ]
+
+let test_align () =
+  check_int "up already" 64 (Word.align_up 64 ~align:64);
+  check_int "up" 128 (Word.align_up 65 ~align:64);
+  check_int "up 0" 0 (Word.align_up 0 ~align:8);
+  check_int "down already" 64 (Word.align_down 64 ~align:64);
+  check_int "down" 64 (Word.align_down 127 ~align:64);
+  check_bool "aligned" true (Word.is_aligned 192 ~align:64);
+  check_bool "not aligned" false (Word.is_aligned 193 ~align:64)
+
+let test_pp_count () =
+  let s x = Fmt.str "%a" Word.pp_count x in
+  Alcotest.(check string) "kilo" "4K" (s 4096);
+  Alcotest.(check string) "mega" "256M" (s (256 * (1 lsl 20)));
+  Alcotest.(check string) "giga" "2G" (s (2 lsl 30));
+  Alcotest.(check string) "inexact stays numeric" "1025" (s 1025);
+  Alcotest.(check string) "small" "37" (s 37)
+
+let prop_align_up =
+  QCheck.Test.make ~name:"align_up is the least aligned address >= x"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4096))
+    (fun (x, align) ->
+      let a = Word.align_up x ~align in
+      a >= x && a mod align = 0 && a - x < align)
+
+let prop_round_up_pow2 =
+  QCheck.Test.make ~name:"round_up_pow2 is the least power of two >= x"
+    QCheck.(int_range 1 (1 lsl 30))
+    (fun x ->
+      let p = Word.round_up_pow2 x in
+      Word.is_pow2 p && p >= x && (p = 1 || p / 2 < x))
+
+let prop_log2_inverse =
+  QCheck.Test.make ~name:"log2_floor inverts pow2"
+    QCheck.(int_range 0 61)
+    (fun k -> Word.log2_floor (Word.pow2 k) = k)
+
+let () =
+  Alcotest.run "word"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "round_up_pow2" `Quick test_round_up_pow2;
+          Alcotest.test_case "align" `Quick test_align;
+          Alcotest.test_case "pp_count" `Quick test_pp_count;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_align_up; prop_round_up_pow2; prop_log2_inverse ] );
+    ]

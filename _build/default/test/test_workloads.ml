@@ -1,0 +1,236 @@
+open Pc_adversary
+
+(* The auxiliary workloads: the PW-style chunk-pinning adversary, the
+   scripted-workload DSL, and the sawtooth stressor. *)
+
+(* ------------------------------------------------------------------ *)
+(* PW                                                                 *)
+
+let test_pw_hurts_non_moving () =
+  (* PW pins a word per chunk; non-moving managers must waste plenty
+     (not necessarily Robson's exact bound — it's a different
+     program). *)
+  let m = 1 lsl 10 and n = 1 lsl 4 in
+  let program = Pw.program ~m ~n () in
+  let o =
+    Runner.run ~program ~manager:Pc_manager.First_fit.manager ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "first-fit wastes (HS/M = %.3f)" o.hs_over_m)
+    true (o.hs_over_m > 1.8)
+
+let test_pw_cheap_for_compactors () =
+  (* ... but a budgeted compactor shakes it off much more cheaply than
+     it shakes off PF — the paper's point about [4]'s bound. *)
+  let m = 1 lsl 12 and n = 1 lsl 6 in
+  let c = 16.0 in
+  let pw = Pw.program ~m ~n () in
+  let o_pw =
+    Runner.run ~c ~program:pw ~manager:(Pc_manager.Compacting.make ()) ()
+  in
+  let _, pf = Pf.program ~m ~n ~c () in
+  let o_pf =
+    Runner.run ~c ~program:pf ~manager:(Pc_manager.Compacting.make ()) ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "PF (%.3f) beats PW (%.3f) against a compactor"
+       o_pf.hs_over_m o_pw.hs_over_m)
+    true
+    (o_pf.hs_over_m >= o_pw.hs_over_m -. 0.15);
+  Alcotest.(check bool) "both compliant" true (o_pw.compliant && o_pf.compliant)
+
+let test_pw_steps_validation () =
+  Alcotest.check_raises "steps range"
+    (Invalid_argument "Pw.program: steps out of range") (fun () ->
+      ignore (Pw.program ~steps:7 ~m:1024 ~n:16 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Script DSL                                                         *)
+
+let test_script_runs () =
+  let actions =
+    Script.
+      [
+        Alloc { slot = "x"; size = 16 };
+        Alloc { slot = "y"; size = 8 };
+        Free { slot = "x" };
+        Alloc { slot = "z"; size = 16 };
+      ]
+  in
+  (* peak is x+y = 24 (x dies before z arrives) *)
+  Alcotest.(check int) "max live" 24 (Script.max_live actions);
+  Alcotest.(check int) "max size" 16 (Script.max_size actions);
+  let program = Script.program actions in
+  let o =
+    Runner.run ~program ~manager:Pc_manager.First_fit.manager ()
+  in
+  (* first fit reuses x's hole for z *)
+  Alcotest.(check int) "HS" 24 o.hs;
+  Alcotest.(check int) "final live" 24 o.final_live
+
+let test_script_validation () =
+  let open Script in
+  (try
+     validate [ Alloc { slot = "x"; size = 4 }; Alloc { slot = "x"; size = 4 } ];
+     Alcotest.fail "expected Bad_script"
+   with Bad_script _ -> ());
+  (try
+     validate [ Free { slot = "x" } ];
+     Alcotest.fail "expected Bad_script"
+   with Bad_script _ -> ());
+  try
+    validate [ Alloc { slot = "x"; size = 0 } ];
+    Alcotest.fail "expected Bad_script"
+  with Bad_script _ -> ()
+
+let test_script_parse () =
+  let actions = Script.parse "a x 16; a y 8 ; f x;a z 4" in
+  Alcotest.(check int) "four actions" 4 (List.length actions);
+  Alcotest.(check string) "roundtrip head" "a x 16"
+    (Fmt.str "%a" Script.pp_action (List.hd actions));
+  (try
+     ignore (Script.parse "a x");
+     Alcotest.fail "expected Bad_script"
+   with Script.Bad_script _ -> ());
+  try
+    ignore (Script.parse "a x sixteen");
+    Alcotest.fail "expected Bad_script"
+  with Script.Bad_script _ -> ()
+
+let test_script_checkerboard () =
+  (* the quickstart's checkerboard, as a script: 8 x 8-word objects,
+     free the even ones, allocate 16 — first fit must extend *)
+  let allocs =
+    List.init 8 (fun i ->
+        Script.Alloc { slot = Fmt.str "o%d" i; size = 8 })
+  in
+  let frees =
+    List.filteri (fun i _ -> i mod 2 = 0) allocs
+    |> List.map (function
+         | Script.Alloc { slot; _ } -> Script.Free { slot }
+         | Script.Free _ -> assert false)
+  in
+  let actions = allocs @ frees @ [ Script.Alloc { slot = "big"; size = 16 } ] in
+  let o =
+    Runner.run ~program:(Script.program actions)
+      ~manager:Pc_manager.First_fit.manager ()
+  in
+  Alcotest.(check int) "fragmented heap" 80 o.hs
+
+(* ------------------------------------------------------------------ *)
+(* Sawtooth                                                           *)
+
+let test_sawtooth_patterns () =
+  List.iter
+    (fun pattern ->
+      let program = Sawtooth.program ~pattern ~m:2048 ~n:32 () in
+      let o =
+        Runner.run ~program ~manager:Pc_manager.First_fit.manager ()
+      in
+      Alcotest.(check bool) "heap covers live" true (o.hs >= o.final_live);
+      Alcotest.(check bool) "some waste" true (o.hs_over_m >= 1.0))
+    [ Sawtooth.Every_other; Sawtooth.First_half; Sawtooth.Random 3 ]
+
+let test_sawtooth_worse_than_random_better_than_pf () =
+  (* middle data point: sawtooth fragments first-fit more than random
+     churn does at equal live occupancy *)
+  let m = 1 lsl 12 in
+  let saw = Sawtooth.program ~m ~n:32 () in
+  let o_saw =
+    Runner.run ~program:saw ~manager:Pc_manager.First_fit.manager ()
+  in
+  let rand =
+    Random_workload.program ~seed:3 ~churn:5_000 ~m
+      ~dist:(Random_workload.Pow2 { lo_log = 0; hi_log = 5 })
+      ~target_live:m ()
+  in
+  let o_rand =
+    Runner.run ~program:rand ~manager:Pc_manager.First_fit.manager ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "sawtooth (%.3f) >= random (%.3f)" o_saw.hs_over_m
+       o_rand.hs_over_m)
+    true
+    (o_saw.hs_over_m >= o_rand.hs_over_m)
+
+(* Random valid scripts: the runner's final live space equals the sum
+   of never-freed slots, against any manager. *)
+let prop_random_scripts =
+  QCheck.Test.make ~name:"random scripts: final live matches" ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 1 60))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed |] in
+      let actions = ref [] in
+      let live = ref [] in
+      let next = ref 0 in
+      for _ = 1 to steps do
+        if Random.State.bool st || !live = [] then begin
+          incr next;
+          let slot = Fmt.str "s%d" !next in
+          let size = 1 + Random.State.int st 32 in
+          actions := Script.Alloc { slot; size } :: !actions;
+          live := (slot, size) :: !live
+        end
+        else begin
+          let i = Random.State.int st (List.length !live) in
+          let slot, _ = List.nth !live i in
+          actions := Script.Free { slot } :: !actions;
+          live := List.filter (fun (s, _) -> s <> slot) !live
+        end
+      done;
+      let actions = List.rev !actions in
+      let expected = List.fold_left (fun a (_, s) -> a + s) 0 !live in
+      List.for_all
+        (fun key ->
+          let o =
+            Runner.run
+              ~program:(Script.program actions)
+              ~manager:(Pc_manager.Registry.construct_exn key)
+              ()
+          in
+          o.final_live = expected && o.hs >= expected)
+        [ "first-fit"; "buddy"; "segregated"; "tlsf" ])
+
+(* PF is deterministic: identical parameters and manager give the
+   same heap size. *)
+let prop_pf_deterministic =
+  QCheck.Test.make ~name:"PF deterministic" ~count:5
+    QCheck.(int_range 3 10)
+    (fun c_small ->
+      let c = float_of_int c_small in
+      let run () =
+        let _, program = Pf.program ~m:(1 lsl 11) ~n:(1 lsl 5) ~c () in
+        (Runner.run ~c ~program
+           ~manager:(Pc_manager.Compacting.make ())
+           ())
+          .hs
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "pw",
+        [
+          Alcotest.test_case "hurts non-moving" `Quick test_pw_hurts_non_moving;
+          Alcotest.test_case "cheap for compactors" `Quick
+            test_pw_cheap_for_compactors;
+          Alcotest.test_case "steps validation" `Quick test_pw_steps_validation;
+        ] );
+      ( "script",
+        [
+          Alcotest.test_case "runs" `Quick test_script_runs;
+          Alcotest.test_case "validation" `Quick test_script_validation;
+          Alcotest.test_case "parse" `Quick test_script_parse;
+          Alcotest.test_case "checkerboard" `Quick test_script_checkerboard;
+        ] );
+      ( "sawtooth",
+        [
+          Alcotest.test_case "patterns" `Quick test_sawtooth_patterns;
+          Alcotest.test_case "vs random" `Quick
+            test_sawtooth_worse_than_random_better_than_pf;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_scripts; prop_pf_deterministic ] );
+    ]
