@@ -5,6 +5,15 @@
      dune exec bench/main.exe                       all series + timings
      dune exec bench/main.exe fig1 sim-lower        a selection
      dune exec bench/main.exe -- --no-timing        series only
+     dune exec bench/main.exe -- sim-fig1 -j 8      8 worker domains
+     dune exec bench/main.exe -- --small            toy scales (quick)
+     dune exec bench/main.exe -- --json BENCH_results.json
+
+   Every simulated experiment (sim-*, ablation) runs through the
+   Pc.Exec sweep engine: points execute on a Domain worker pool
+   (--jobs N / -j N) and completed points are cached on disk keyed by
+   the job spec (_pc_cache/ by default; --no-cache bypasses,
+   --cache-dir relocates), so a re-run only executes new points.
 
    Experiments (see DESIGN.md section 4):
      fig1        lower bound h vs c (this paper vs [4] vs trivial)
@@ -20,8 +29,62 @@
 
 open Pc_core
 open Bechamel
+module Spec = Pc.Exec.Spec
+module Engine = Pc.Exec.Engine
+module Cache = Pc.Exec.Cache
+module Json = Pc.Exec.Json
 
 let line fmt = Fmt.pr (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                            *)
+
+type opts = {
+  jobs : int;
+  cache : Cache.t option;
+  json_path : string option;
+  small : bool;  (* toy scales: quick smoke runs, CI *)
+  no_timing : bool;
+  selected : string list;
+}
+
+(* Machine-readable report accumulators (--json). *)
+let sweep_records : Json.t list ref = ref []
+let timing_records : Json.t list ref = ref []
+
+let record_sweep name (s : Engine.summary) =
+  sweep_records :=
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("points", Json.Int s.total);
+        ("executed", Json.Int s.executed);
+        ("cached", Json.Int s.cached);
+        ("failed", Json.Int s.failed);
+        ("wall_s", Json.Float s.wall);
+      ]
+    :: !sweep_records
+
+(* Run one sweep through the engine and return a lookup from spec to
+   its result. Every simulated table below builds its full grid first,
+   runs it in one engine call (maximal parallelism), then renders. *)
+let run_sweep opts name specs =
+  let results, summary = Engine.run ~jobs:opts.jobs ?cache:opts.cache specs in
+  line "    [%s: %a]" name Engine.pp_summary summary;
+  record_sweep name summary;
+  let tbl = Hashtbl.create (2 * List.length specs) in
+  List.iter
+    (fun (r : Engine.job_result) ->
+      Hashtbl.replace tbl (Spec.key r.spec) r.result)
+    results;
+  fun spec ->
+    match Hashtbl.find_opt tbl (Spec.key spec) with
+    | Some res -> res
+    | None -> Error "spec was not part of this sweep"
+
+let hs_over_m = function
+  | Ok (o : Pc.Runner.outcome) -> o.hs_over_m
+  | Error _ -> Float.nan
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                           *)
@@ -91,126 +154,162 @@ let fig3 () =
 (* ------------------------------------------------------------------ *)
 (* Table S1: PF vs c-partial managers, measured vs theory             *)
 
-let sim_lower_point ~m ~n ~manager c =
-  let r = Pc.run_pf ~m ~n ~c ~manager () in
-  (r.config.ell, Float.max r.config.h 1.0, r.outcome)
-
-let sim_lower ?(m = 1 lsl 16) ?(n = 1 lsl 8) () =
+let sim_lower opts =
+  let m, n = if opts.small then (1 lsl 16, 1 lsl 8) else (1 lsl 20, 1 lsl 10) in
+  let cs = [ 8.0; 16.0; 32.0; 64.0 ] in
+  let managers = [ "compacting"; "improved-ac"; "first-fit" ] in
+  let spec c manager = Spec.pf ~c ~manager ~m ~n () in
   line "=== Table S1: measured HS(A, PF)/M vs Theorem 1 (M=%d, n=%d) ===" m n;
   line "    (theory: no c-partial manager can stay below h at scale)";
+  let find =
+    run_sweep opts "sim-lower"
+      (List.concat_map (fun c -> List.map (spec c) managers) cs)
+  in
   line "%6s %4s %10s | %12s %12s %10s" "c" "l" "theory h" "compacting"
     "improved-ac" "first-fit";
   List.iter
     (fun c ->
-      let ell, h, o1 = sim_lower_point ~m ~n ~manager:"compacting" c in
-      let _, _, o2 = sim_lower_point ~m ~n ~manager:"improved-ac" c in
-      let _, _, o3 = sim_lower_point ~m ~n ~manager:"first-fit" c in
-      line "%6.0f %4d %10.3f | %12.3f %12.3f %10.3f" c ell h o1.hs_over_m
-        o2.hs_over_m o3.hs_over_m)
-    [ 8.0; 16.0; 32.0; 64.0 ]
+      let cfg = Pc.Pf.config ~m ~n ~c () in
+      let v manager = hs_over_m (find (spec c manager)) in
+      line "%6.0f %4d %10.3f | %12.3f %12.3f %10.3f" c cfg.ell
+        (Float.max cfg.h 1.0) (v "compacting") (v "improved-ac")
+        (v "first-fit"))
+    cs
 
 (* ------------------------------------------------------------------ *)
 (* Table S2: Robson's PR vs managers, measured vs matching bound      *)
 
-let sim_upper ?(m = 1 lsl 14) () =
-  line "=== Table S2: measured HS(A, PR)/M vs Robson's matching bound ===";
+let sim_upper opts =
+  let m = if opts.small then 1 lsl 14 else 1 lsl 16 in
+  let ns = [ 1 lsl 4; 1 lsl 6; 1 lsl 8 ] in
+  let managers = [ "first-fit"; "aligned-fit"; "buddy"; "best-fit" ] in
+  let robson_spec n manager = Spec.robson ~manager ~m ~n () in
+  let pf_n = 1 lsl 6 in
+  let pf_spec manager = Spec.pf ~c:8.0 ~manager ~m ~n:pf_n () in
+  line "=== Table S2: measured HS(A, PR)/M vs Robson's matching bound \
+        (M=%d) ===" m;
   line "    (every non-moving manager must be >= the bound; A_o meets it)";
+  let find =
+    run_sweep opts "sim-upper"
+      (List.concat_map (fun n -> List.map (robson_spec n) managers) ns
+      @ [ pf_spec "bp-simple"; pf_spec "improved-ac" ])
+  in
   line "%8s %10s | %10s %12s %10s %10s" "n" "bound" "first-fit" "aligned-fit"
     "buddy" "best-fit";
   List.iter
     (fun n ->
       let bound = Pc.Bounds.Robson.waste_factor_pow2 ~m ~n in
-      let hs key = (Pc.run_robson ~m ~n ~manager:key ()).outcome.hs_over_m in
-      line "%8d %10.3f | %10.3f %12.3f %10.3f %10.3f" n bound (hs "first-fit")
-        (hs "aligned-fit") (hs "buddy") (hs "best-fit"))
-    [ 1 lsl 4; 1 lsl 6; 1 lsl 8 ];
+      let v manager = hs_over_m (find (robson_spec n manager)) in
+      line "%8d %10.3f | %10.3f %12.3f %10.3f %10.3f" n bound (v "first-fit")
+        (v "aligned-fit") (v "buddy") (v "best-fit"))
+    ns;
   line "";
   line "    upper-bound managers vs their guarantees (PF workload, c = 8):";
-  let n = 1 lsl 6 in
-  let _cfg, program = Pc.Pf.program ~m ~n ~c:8.0 () in
-  let o =
-    Pc.Runner.run ~c:8.0 ~program
-      ~manager:(Pc.Managers.construct_exn "bp-simple")
-      ()
-  in
-  line "    bp-simple: HS/M = %.3f <= (c+1) = %.1f  [%s]" o.hs_over_m 9.0
-    (if o.hs_over_m <= 9.0 then "ok" else "VIOLATED");
+  let bp = hs_over_m (find (pf_spec "bp-simple")) in
+  line "    bp-simple: HS/M = %.3f <= (c+1) = %.1f  [%s]" bp 9.0
+    (if bp <= 9.0 then "ok" else "VIOLATED");
   (* Theorem 2's side condition needs c > log(n)/2 = 3: report the
      Theorem-2-inspired manager against the (reconstructed) bound. At
      simulation scale the bound is far from tight — reported for
      completeness, not asserted. *)
-  let c2 = 8.0 in
-  let _cfg, program = Pc.Pf.program ~m ~n ~c:c2 () in
-  let o2 =
-    Pc.Runner.run ~c:c2 ~program
-      ~manager:(Pc.Managers.construct_exn "improved-ac")
-      ()
-  in
   line "    improved-ac: HS/M = %.3f (Theorem 2 reconstruction: %.3f)"
-    o2.hs_over_m
-    (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c:c2)
+    (hs_over_m (find (pf_spec "improved-ac")))
+    (Pc.Bounds.Theorem2.waste_factor ~m ~n:pf_n ~c:8.0)
 
 (* ------------------------------------------------------------------ *)
 (* Table S3: random workloads — the average case                      *)
 
-let sim_average ?(m = 1 lsl 14) ?(churn = 20_000) () =
+let sim_average opts =
+  let m = if opts.small then 1 lsl 14 else 1 lsl 16 in
+  let churn = 20_000 in
+  let spec manager =
+    Spec.random_churn ~seed:7 ~churn ~c:8.0 ~manager ~m
+      ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = 6 })
+      ~target_live:(m / 2) ()
+  in
   line "=== Table S3: random churn (M=%d): fragmentation by manager ===" m;
   line "    (average case — far from the adversarial worst case)";
+  let keys = List.map (fun (e : Pc.Managers.entry) -> e.key) Pc.Managers.entries in
+  let find = run_sweep opts "sim-average" (List.map spec keys) in
   line "%-12s %10s %10s %10s" "manager" "HS/M" "HS/live" "moved";
   List.iter
-    (fun (e : Pc.Managers.entry) ->
-      let program =
-        Pc.Random_workload.program ~seed:7 ~churn ~m
-          ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = 6 })
-          ~target_live:(m / 2) ()
-      in
-      let o = Pc.Runner.run ~c:8.0 ~program ~manager:(e.construct ()) () in
-      line "%-12s %10.3f %10.3f %10d" e.key o.hs_over_m
-        (float_of_int o.hs /. float_of_int (max 1 o.final_live))
-        o.moved)
-    Pc.Managers.entries
+    (fun key ->
+      match find (spec key) with
+      | Ok o ->
+          line "%-12s %10.3f %10.3f %10d" key o.hs_over_m
+            (float_of_int o.hs /. float_of_int (max 1 o.final_live))
+            o.moved
+      | Error msg -> line "%-12s failed: %s" key msg)
+    keys
 
 (* ------------------------------------------------------------------ *)
 (* Simulated Figure 1: the lower-bound curve, measured               *)
 
-let sim_fig1 ?(m = 1 lsl 15) ?(n = 1 lsl 7) () =
+let sim_fig1 opts =
+  let m, n = if opts.small then (1 lsl 15, 1 lsl 7) else (1 lsl 20, 1 lsl 10) in
+  let cs = [ 6.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0; 64.0 ] in
+  let managers = [ "compacting"; "improved-ac"; "sliding"; "bp-simple" ] in
+  let spec c manager = Spec.pf ~c ~manager ~m ~n () in
   line "=== Simulated Figure 1: measured waste vs c (M=%d, n=%d) ===" m n;
   line
     "    (best = the smallest HS/M any of our c-partial managers achieves \
      against PF; theory says best >= h)";
+  let find =
+    run_sweep opts "sim-fig1"
+      (List.concat_map (fun c -> List.map (spec c) managers) cs)
+  in
   line "%6s %10s %10s %14s" "c" "theory h" "best" "best manager";
   List.iter
     (fun c ->
       let candidates =
         List.filter_map
           (fun key ->
-            match Pc.run_pf ~m ~n ~c ~manager:key () with
-            | r -> Some (r.outcome.hs_over_m, key)
-            | exception Invalid_argument _ -> None)
-          [ "compacting"; "improved-ac"; "sliding"; "bp-simple" ]
+            match find (spec c key) with
+            | Ok o -> Some (o.hs_over_m, key)
+            | Error _ -> None (* invalid parameters at this point *))
+          managers
       in
       let best, key = List.fold_left min (Float.infinity, "-") candidates in
       line "%6g %10.3f %10.3f %14s" c
         (Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c)
         best key)
-    [ 6.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0; 64.0 ]
+    cs
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: how much each design choice of P_F contributes          *)
 
-let ablation ?(m = 1 lsl 15) ?(n = 1 lsl 7) () =
-  let run ?ell ?stage1_steps ?maintain_density c =
-    let _, program =
-      Pc.Pf.program ?ell ?stage1_steps ?maintain_density ~m ~n ~c ()
-    in
-    let o =
-      Pc.Runner.run ~c ~program
-        ~manager:(Pc.Managers.construct_exn "compacting")
-        ()
-    in
-    o.hs_over_m
+let ablation opts =
+  let m, n = if opts.small then (1 lsl 15, 1 lsl 7) else (1 lsl 17, 1 lsl 9) in
+  let spec ?ell ?stage1_steps ?maintain_density ~manager c =
+    Spec.pf ?ell ?stage1_steps ?maintain_density ~c ~manager ~m ~n ()
   in
-  line "=== Ablation A1: the density exponent l (c = 32, M=%d, n=%d) ===" m n;
+  let a1_ells =
+    List.filter
+      (fun ell -> Pc.Bounds.Cohen_petrank.h ~m ~n ~c:32.0 ~ell <> None)
+      [ 1; 2 ]
+  in
+  let moving =
+    List.filter_map
+      (fun (e : Pc.Managers.entry) -> if e.moving then Some e.key else None)
+      Pc.Managers.entries
+  in
+  let specs =
+    List.map (fun ell -> spec ~ell ~manager:"compacting" 32.0) a1_ells
+    @ List.concat_map
+        (fun c ->
+          [
+            spec ~manager:"compacting" c;
+            spec ~maintain_density:false ~manager:"compacting" c;
+            spec ~stage1_steps:0 ~manager:"compacting" c;
+          ])
+        [ 16.0; 32.0 ]
+    @ List.map (fun key -> spec ~manager:key 16.0) moving
+  in
+  line "=== Ablations (M=%d, n=%d) ===" m n;
+  let find = run_sweep opts "ablation" specs in
+  let v s = hs_over_m (find s) in
+  line "";
+  line "=== Ablation A1: the density exponent l (c = 32) ===";
   line "    (Theorem 1 optimises l; the empirical optimum should agree)";
   let best_ell =
     match Pc.Bounds.Cohen_petrank.best ~m ~n ~c:32.0 with
@@ -223,22 +322,25 @@ let ablation ?(m = 1 lsl 15) ?(n = 1 lsl 7) () =
       | Some h ->
           line "    l=%d%s  theory h=%6.3f  measured HS/M=%6.3f" ell
             (if ell = best_ell then "*" else " ")
-            (Float.max h 1.0) (run ~ell 32.0)
+            (Float.max h 1.0)
+            (v (spec ~ell ~manager:"compacting" 32.0))
       | None -> line "    l=%d   (invalid at these parameters)" ell)
     [ 1; 2 ];
   line "";
   line "=== Ablation A2: stage 2 density maintenance (line 13) ===";
   List.iter
     (fun c ->
-      line "    c=%-3g  with density: %6.3f   without: %6.3f" c (run c)
-        (run ~maintain_density:false c))
+      line "    c=%-3g  with density: %6.3f   without: %6.3f" c
+        (v (spec ~manager:"compacting" c))
+        (v (spec ~maintain_density:false ~manager:"compacting" c)))
     [ 16.0; 32.0 ];
   line "";
   line "=== Ablation A3: the Robson stage (stage 1) ===";
   List.iter
     (fun c ->
       line "    c=%-3g  full stage 1: %6.3f   unit fill only: %6.3f" c
-        (run c) (run ~stage1_steps:0 c))
+        (v (spec ~manager:"compacting" c))
+        (v (spec ~stage1_steps:0 ~manager:"compacting" c)))
     [ 16.0; 32.0 ];
   line "";
   line "=== Ablation A4: which manager resists P_F best (c = 16) ===";
@@ -246,15 +348,14 @@ let ablation ?(m = 1 lsl 15) ?(n = 1 lsl 7) () =
   let floor16 = Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c:16.0 in
   line "    theory floor h = %.3f" floor16;
   List.iter
-    (fun (e : Pc.Managers.entry) ->
-      if e.moving then begin
-        let _, program = Pc.Pf.program ~m ~n ~c:16.0 () in
-        let o = Pc.Runner.run ~c:16.0 ~program ~manager:(e.construct ()) () in
-        line "    %-12s HS/M=%6.3f  moved=%-7d %s" e.key o.hs_over_m o.moved
-          (if o.hs_over_m >= floor16 -. 0.02 then "(floor respected)"
-           else "(BELOW FLOOR?)")
-      end)
-    Pc.Managers.entries
+    (fun key ->
+      match find (spec ~manager:key 16.0) with
+      | Ok o ->
+          line "    %-12s HS/M=%6.3f  moved=%-7d %s" key o.hs_over_m o.moved
+            (if o.hs_over_m >= floor16 -. 0.02 then "(floor respected)"
+             else "(BELOW FLOOR?)")
+      | Error msg -> line "    %-12s failed: %s" key msg)
+    moving
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings: one Test per experiment generator                *)
@@ -266,8 +367,8 @@ let tests () =
     Test.make ~name:"fig3-series" (Staged.stage fig3_series);
     Test.make ~name:"sim-lower-point-c16"
       (Staged.stage (fun () ->
-           sim_lower_point ~m:(1 lsl 13) ~n:(1 lsl 6) ~manager:"compacting"
-             16.0));
+           Pc.run_pf ~m:(1 lsl 13) ~n:(1 lsl 6) ~manager:"compacting" ~c:16.0
+             ()));
     Test.make ~name:"sim-upper-robson"
       (Staged.stage (fun () ->
            Pc.run_robson ~m:(1 lsl 12) ~n:(1 lsl 6) ~manager:"first-fit" ()));
@@ -305,21 +406,119 @@ let timings () =
       results []
     |> List.sort compare
   in
-  List.iter (fun (name, est) -> line "%-28s %14.0f ns/run" name est) rows
+  List.iter
+    (fun (name, est) ->
+      line "%-28s %14.0f ns/run" name est;
+      if Float.is_nan est then ()
+      else
+        timing_records :=
+          Json.Obj [ ("name", Json.String name); ("ns_per_run", Json.Float est) ]
+          :: !timing_records)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report                                            *)
+
+let write_json opts =
+  match opts.json_path with
+  | None -> ()
+  | Some path ->
+      let entry =
+        Json.Obj
+          [
+            ("unix_time", Json.Float (Unix.gettimeofday ()));
+            ("jobs", Json.Int opts.jobs);
+            ("scale", Json.String (if opts.small then "small" else "default"));
+            ("cache", Json.Bool (opts.cache <> None));
+            ( "experiments",
+              Json.List (List.map (fun s -> Json.String s) opts.selected) );
+            ("sweeps", Json.List (List.rev !sweep_records));
+            ("timings", Json.List (List.rev !timing_records));
+          ]
+      in
+      (* Append to the existing report so the perf trajectory is
+         tracked run-over-run (and PR-over-PR). *)
+      let previous =
+        if Sys.file_exists path then begin
+          let ic = open_in_bin path in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Json.of_string text with
+          | exception _ -> []
+          | j -> (
+              match Option.bind (Json.member "runs" j) Json.to_list with
+              | Some runs -> runs
+              | None -> [])
+        end
+        else []
+      in
+      let report = Json.Obj [ ("runs", Json.List (previous @ [ entry ])) ] in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Json.to_string ~indent:true report);
+          output_char oc '\n');
+      line "";
+      line "wrote %s (%d run%s)" path
+        (List.length previous + 1)
+        (if previous = [] then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let no_timing = List.mem "--no-timing" args in
-  let selected = List.filter (fun a -> a <> "--no-timing") args in
-  let wants name = match selected with [] -> true | sel -> List.mem name sel in
+  let rec parse opts no_cache cache_dir = function
+    | [] -> (opts, no_cache, cache_dir)
+    | ("--jobs" | "-j") :: v :: rest ->
+        let jobs =
+          match int_of_string_opt v with
+          | Some j when j >= 1 -> j
+          | Some _ | None -> Fmt.invalid_arg "bad --jobs value %S" v
+        in
+        parse { opts with jobs } no_cache cache_dir rest
+    | "--no-cache" :: rest -> parse opts true cache_dir rest
+    | "--cache-dir" :: d :: rest -> parse opts no_cache (Some d) rest
+    | "--json" :: p :: rest ->
+        parse { opts with json_path = Some p } no_cache cache_dir rest
+    | "--small" :: rest -> parse { opts with small = true } no_cache cache_dir rest
+    | "--no-timing" :: rest ->
+        parse { opts with no_timing = true } no_cache cache_dir rest
+    | a :: rest ->
+        parse { opts with selected = opts.selected @ [ a ] } no_cache cache_dir rest
+  in
+  let opts, no_cache, cache_dir =
+    parse
+      {
+        jobs = 1;
+        cache = None;
+        json_path = None;
+        small = false;
+        no_timing = false;
+        selected = [];
+      }
+      false None
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let opts =
+    {
+      opts with
+      cache = (if no_cache then None else Some (Cache.create ?dir:cache_dir ()));
+    }
+  in
+  let wants name =
+    match opts.selected with [] -> true | sel -> List.mem name sel
+  in
   if wants "fig1" then fig1 ();
   if wants "fig2" then fig2 ();
   if wants "fig3" then fig3 ();
-  if wants "sim-lower" then sim_lower ();
-  if wants "sim-upper" then sim_upper ();
-  if wants "sim-average" then sim_average ();
-  if wants "sim-fig1" then sim_fig1 ();
-  if wants "ablation" then ablation ();
-  if (not no_timing) && (selected = [] || wants "timings") then timings ()
+  if wants "sim-lower" then sim_lower opts;
+  if wants "sim-upper" then sim_upper opts;
+  if wants "sim-average" then sim_average opts;
+  if wants "sim-fig1" then sim_fig1 opts;
+  if wants "ablation" then ablation opts;
+  if (not opts.no_timing) && (opts.selected = [] || wants "timings") then
+    timings ();
+  write_json opts

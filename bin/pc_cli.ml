@@ -317,19 +317,50 @@ let trace_cmd =
 (* pc sweep                                                           *)
 
 let sweep_cmd =
-  let run manager m n cs =
-    Fmt.pr "%6s %4s %10s %10s %8s %10s@." "c" "l" "theory h" "HS/M" "moved"
-      "compliant";
-    List.iter
-      (fun c ->
-        match Pc.Pf.config ~m ~n ~c () with
-        | exception Invalid_argument msg -> Fmt.epr "c=%g: %s@." c msg
-        | cfg ->
-            let r = Pc.run_pf ~m ~n ~c ~manager () in
-            Fmt.pr "%6g %4d %10.3f %10.3f %8d %10b@." c cfg.ell
-              (Float.max cfg.h 1.0) r.outcome.hs_over_m r.outcome.moved
-              r.outcome.compliant)
-      cs
+  let run manager m n cs jobs no_cache cache_dir =
+    (* Each (c, manager) point is a deterministic job spec: points run
+       on the engine's Domain pool and completed points are served
+       from the on-disk result cache on re-runs. *)
+    let module Spec = Pc.Exec.Spec in
+    let module Engine = Pc.Exec.Engine in
+    let cache =
+      if no_cache then None else Some (Pc.Exec.Cache.create ?dir:cache_dir ())
+    in
+    let specs = List.map (fun c -> Spec.pf ~c ~manager ~m ~n ()) cs in
+    let results, summary = Engine.run ~jobs ?cache specs in
+    Fmt.pr "%6s %4s %10s %10s %8s %10s %7s@." "c" "l" "theory h" "HS/M"
+      "moved" "compliant" "source";
+    List.iter2
+      (fun c (r : Engine.job_result) ->
+        match r.result with
+        | Error msg -> Fmt.epr "c=%g: %s@." c msg
+        | Ok o ->
+            let cfg = Pc.Pf.config ~m ~n ~c () in
+            Fmt.pr "%6g %4d %10.3f %10.3f %8d %10b %7s@." c cfg.ell
+              (Float.max cfg.h 1.0) o.hs_over_m o.moved o.compliant
+              (if r.from_cache then "cache" else "run"))
+      cs results;
+    Fmt.pr "%a@." Engine.pp_summary summary
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Execute sweep points on $(docv) parallel worker domains.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Always execute; neither read nor write the result cache.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Result cache directory (default: $(b,PC_CACHE_DIR) or \
+             $(b,_pc_cache)).")
   in
   let m_small =
     Arg.(
@@ -349,8 +380,12 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Sweep PF over compaction bounds against one manager (Table S1).")
-    Term.(const run $ manager_arg $ m_small $ n_small $ cs_arg)
+       ~doc:
+         "Sweep PF over compaction bounds against one manager (Table S1), \
+          in parallel and with result caching.")
+    Term.(
+      const run $ manager_arg $ m_small $ n_small $ cs_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc managers                                                        *)

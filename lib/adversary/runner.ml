@@ -23,15 +23,27 @@ type outcome = {
   compliant : bool; (* c-partial rule never violated *)
 }
 
-let run ?c ?(check = false) ~program ~manager () =
+let run ?c ?(check = false) ?(check_every = 64) ~program ~manager () =
+  if check_every <= 0 then invalid_arg "Runner.run: check_every must be > 0";
   let budget =
     match c with Some c -> Budget.create ~c | None -> Budget.unlimited ()
   in
   let m = Program.live_bound program in
   let ctx = Ctx.create ~budget ~live_bound:m () in
   let driver = Driver.create ctx manager in
-  if check then
-    Heap.on_event (Ctx.heap ctx) (fun _ -> Heap.check_invariants (Ctx.heap ctx));
+  if check then begin
+    (* Sampled: the full invariant sweep is O(live), so running it on
+       every event turns an O(T) execution into O(T^2). One event in
+       [check_every] keeps executions honest at tolerable cost; the
+       final check below always runs on the complete heap. *)
+    let countdown = ref check_every in
+    Heap.on_event (Ctx.heap ctx) (fun _ ->
+        decr countdown;
+        if !countdown <= 0 then begin
+          countdown := check_every;
+          Heap.check_invariants (Ctx.heap ctx)
+        end)
+  end;
   Log.debug (fun k ->
       k "running %s vs %s (M=%d, c=%s)" (Program.name program)
         (Manager.name manager) m

@@ -19,12 +19,15 @@ type outcome = {
 val run :
   ?c:float ->
   ?check:bool ->
+  ?check_every:int ->
   program:Program.t ->
   manager:Pc_manager.Manager.t ->
   unit ->
   outcome
 (** [c] bounds the manager's compaction (omit for unlimited). [check]
-    runs the full heap invariant check after every event — O(n) per
-    event, tests only. *)
+    (default false) samples the full heap invariant check during the
+    run: one event in [check_every] (default 64) triggers the O(live)
+    sweep — set [check_every:1] to check every event, tests only. A
+    full check always runs once at the end of every execution. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

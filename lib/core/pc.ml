@@ -31,6 +31,16 @@ module Sawtooth = Pc_adversary.Sawtooth
 module Reduction = Pc_adversary.Reduction
 module Script = Pc_adversary.Script
 
+(* The sweep engine: deterministic job specs, a Domain worker pool,
+   and the content-addressed result cache *)
+module Exec = struct
+  module Json = Pc_exec.Json
+  module Spec = Pc_exec.Spec
+  module Pool = Pc_exec.Pool
+  module Cache = Pc_exec.Cache
+  module Engine = Pc_exec.Engine
+end
+
 (* Closed-form bounds *)
 module Bounds = struct
   module Robson = Pc_bounds.Robson

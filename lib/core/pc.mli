@@ -11,7 +11,8 @@
       the c-partial compactors);
     - the interaction model and adversaries: {!Driver}, {!Program},
       {!Runner}, {!Robson_pr}, {!Pf}, {!Random_workload};
-    - closed-form bounds: {!Bounds}. *)
+    - closed-form bounds: {!Bounds};
+    - the parallel sweep engine with its result cache: {!Exec}. *)
 
 module Word = Pc_heap.Word
 module Interval = Pc_heap.Interval
@@ -35,6 +36,16 @@ module Random_workload = Pc_adversary.Random_workload
 module Sawtooth = Pc_adversary.Sawtooth
 module Reduction = Pc_adversary.Reduction
 module Script = Pc_adversary.Script
+
+(** The sweep engine: deterministic job specs, a [Domain] worker pool,
+    and the content-addressed on-disk result cache. *)
+module Exec : sig
+  module Json = Pc_exec.Json
+  module Spec = Pc_exec.Spec
+  module Pool = Pc_exec.Pool
+  module Cache = Pc_exec.Cache
+  module Engine = Pc_exec.Engine
+end
 
 module Bounds : sig
   module Robson = Pc_bounds.Robson

@@ -1,0 +1,133 @@
+open Pc_adversary
+
+(* Content-addressed on-disk store of sweep results. One JSON file per
+   executed spec, named by the spec's digest:
+
+     <dir>/<md5-hex-of-spec-key>.json
+
+   Each file records the format version, the canonical spec key (so a
+   digest collision or a stale format is detected, never silently
+   served), the full spec, and the outcome. Writes go through a
+   temporary file + rename so a crashed or concurrent run never leaves
+   a truncated entry behind. *)
+
+type t = { dir : string }
+
+let env_var = "PC_CACHE_DIR"
+let default_dir () =
+  match Sys.getenv_opt env_var with
+  | Some d when d <> "" -> d
+  | Some _ | None -> "_pc_cache"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+let path t spec = Filename.concat t.dir (Spec.digest spec ^ ".json")
+
+(* ------------------------------------------------------------------ *)
+(* Outcome (de)serialisation                                          *)
+
+let outcome_to_json (o : Runner.outcome) =
+  Json.Obj
+    [
+      ("program", Json.String o.program);
+      ("manager", Json.String o.manager);
+      ("m", Json.Int o.m);
+      ("n", Json.Int o.n);
+      ("c", (match o.c with None -> Json.Null | Some c -> Json.Float c));
+      ("hs", Json.Int o.hs);
+      ("hs_over_m", Json.Float o.hs_over_m);
+      ("allocated", Json.Int o.allocated);
+      ("moved", Json.Int o.moved);
+      ("freed", Json.Int o.freed);
+      ("final_live", Json.Int o.final_live);
+      ("compliant", Json.Bool o.compliant);
+    ]
+
+exception Bad_entry of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Bad_entry s)) fmt
+
+let get f j k =
+  match f (Json.member_exn k j) with
+  | Some v -> v
+  | None -> fail "cache entry: bad field %s" k
+
+let outcome_of_json j : Runner.outcome =
+  {
+    program = get Json.to_string_opt j "program";
+    manager = get Json.to_string_opt j "manager";
+    m = get Json.to_int j "m";
+    n = get Json.to_int j "n";
+    c =
+      (match Json.member_exn "c" j with
+      | Json.Null -> None
+      | v -> (
+          match Json.to_float v with
+          | Some c -> Some c
+          | None -> fail "cache entry: bad field c"));
+    hs = get Json.to_int j "hs";
+    hs_over_m = get Json.to_float j "hs_over_m";
+    allocated = get Json.to_int j "allocated";
+    moved = get Json.to_int j "moved";
+    freed = get Json.to_int j "freed";
+    final_live = get Json.to_int j "final_live";
+    compliant = get Json.to_bool j "compliant";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / store                                                     *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t spec =
+  let path = path t spec in
+  if not (Sys.file_exists path) then None
+  else begin
+    match Json.of_string (read_file path) with
+    | exception _ -> None (* unreadable / truncated: treat as a miss *)
+    | entry -> (
+        let ok =
+          Json.member "format" entry = Some (Json.Int Spec.cache_format)
+          && Json.member "key" entry = Some (Json.String (Spec.key spec))
+        in
+        if not ok then None
+        else
+          match Json.member "outcome" entry with
+          | None -> None
+          | Some o -> ( try Some (outcome_of_json o) with _ -> None))
+  end
+
+let store t spec (outcome : Runner.outcome) =
+  let entry =
+    Json.Obj
+      [
+        ("format", Json.Int Spec.cache_format);
+        ("key", Json.String (Spec.key spec));
+        ("spec", Spec.to_json spec);
+        ("outcome", outcome_to_json outcome);
+      ]
+  in
+  let final = path t spec in
+  let tmp =
+    Printf.sprintf "%s.%d.tmp" final (Unix.getpid ())
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string ~indent:true entry));
+  Sys.rename tmp final

@@ -1,0 +1,116 @@
+open Pc_adversary
+
+(* The sweep engine: resolve a list of job specs against the result
+   cache, execute the misses on a Domain worker pool with per-job
+   exception capture, store fresh outcomes back, and report a summary.
+
+   Determinism: every job rebuilds its program, manager, heap and
+   budget from the spec alone, and all randomness in the workloads is
+   seeded — so the outcome of a spec is a pure function of the spec,
+   independent of worker count and scheduling. [run ~jobs:4] is
+   bit-identical to [run ~jobs:1]. *)
+
+let src = Logs.Src.create "pc.exec" ~doc:"parallel sweep engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type job_result = {
+  spec : Spec.t;
+  result : (Runner.outcome, string) result;
+  from_cache : bool;
+  elapsed : float;
+}
+
+type summary = {
+  total : int;
+  executed : int;
+  cached : int;
+  failed : int;
+  wall : float;
+}
+
+let execute spec =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match
+      let program = Spec.build spec in
+      let manager = Spec.manager spec in
+      Runner.run ?c:spec.Spec.c ~program ~manager ()
+    with
+    | outcome -> Ok outcome
+    | exception e ->
+        (* One diverging or invalid point must not kill the sweep. *)
+        Error (Printexc.to_string e)
+  in
+  { spec; result; from_cache = false; elapsed = Unix.gettimeofday () -. t0 }
+
+let run ?(jobs = 1) ?cache specs =
+  let t0 = Unix.gettimeofday () in
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let results : job_result option array = Array.make n None in
+  (* Serve what we can from the cache (cheap, sequential). *)
+  (match cache with
+  | None -> ()
+  | Some cache ->
+      Array.iteri
+        (fun i spec ->
+          match Cache.find cache spec with
+          | Some outcome ->
+              results.(i) <-
+                Some
+                  { spec; result = Ok outcome; from_cache = true; elapsed = 0. }
+          | None -> ())
+        specs);
+  (* Execute the misses on the pool. *)
+  let misses =
+    Array.of_seq
+      (Seq.filter
+         (fun i -> results.(i) = None)
+         (Seq.init n (fun i -> i)))
+  in
+  Log.info (fun k ->
+      k "sweep: %d points, %d cached, %d to execute on %d worker(s)" n
+        (n - Array.length misses)
+        (Array.length misses) (max 1 jobs));
+  let executed = Pool.map_array ~jobs (fun i -> execute specs.(i)) misses in
+  Array.iteri (fun k i -> results.(i) <- Some executed.(k)) misses;
+  (* Persist fresh successes. *)
+  (match cache with
+  | None -> ()
+  | Some cache ->
+      Array.iter
+        (fun (r : job_result) ->
+          match r.result with
+          | Ok outcome -> Cache.store cache r.spec outcome
+          | Error _ -> ())
+        executed);
+  let results =
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* every slot is a hit or a miss *))
+         results)
+  in
+  let count p = List.length (List.filter p results) in
+  let summary =
+    {
+      total = n;
+      executed = Array.length misses;
+      cached = n - Array.length misses;
+      failed = count (fun r -> Result.is_error r.result);
+      wall = Unix.gettimeofday () -. t0;
+    }
+  in
+  (results, summary)
+
+let outcome_exn r =
+  match r.result with
+  | Ok o -> o
+  | Error msg -> Fmt.failwith "job %a failed: %s" Spec.pp r.spec msg
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d point%s: %d executed, %d cached, %d failed in %.2fs" s.total
+    (if s.total = 1 then "" else "s")
+    s.executed s.cached s.failed s.wall

@@ -1,0 +1,44 @@
+(** The parallel sweep engine.
+
+    [run] resolves each spec against the result cache, executes the
+    misses on a fixed-size [Domain] worker pool (see {!Pool}) with
+    per-job exception capture, stores fresh outcomes back into the
+    cache, and returns per-job results in input order plus a summary.
+
+    Outcomes are a pure function of the spec — workload randomness is
+    seeded, and every job gets a fresh heap, budget and manager — so
+    [run ~jobs:k] is bit-identical to [run ~jobs:1] for any [k]. *)
+
+type job_result = {
+  spec : Spec.t;
+  result : (Pc_adversary.Runner.outcome, string) result;
+      (** [Error] carries the captured exception text; one diverging
+          job never kills the sweep. *)
+  from_cache : bool;
+  elapsed : float;  (** seconds spent executing; [0.] for cache hits *)
+}
+
+type summary = {
+  total : int;
+  executed : int;
+  cached : int;
+  failed : int;
+  wall : float;  (** wall-clock seconds for the whole sweep *)
+}
+
+val run :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  Spec.t list ->
+  job_result list * summary
+(** [jobs] (default 1) caps the worker-domain count; [jobs <= 1] runs
+    inline on the calling domain. Omitting [cache] disables caching
+    entirely. Results come back in input order. *)
+
+val execute : Spec.t -> job_result
+(** Run one spec on the calling domain, bypassing the cache. *)
+
+val outcome_exn : job_result -> Pc_adversary.Runner.outcome
+(** Raises [Failure] with the captured error text on a failed job. *)
+
+val pp_summary : Format.formatter -> summary -> unit

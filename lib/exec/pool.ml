@@ -1,0 +1,111 @@
+(* A fixed-size Domain worker pool over a mutex/condition work queue.
+   Hand-rolled on purpose: the repo takes no dependency beyond the
+   compiler's own libraries, and the sweep engine's needs are simple —
+   submit thunks, wait for quiescence, shut down.
+
+   Tasks must not raise: the engine wraps every job in its own
+   exception capture. A task that does raise anyway is swallowed here
+   so a worker domain never dies and strands the queue. *)
+
+type t = {
+  tasks : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  all_done : Condition.t;
+  mutable pending : int;  (* submitted, not yet finished *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      if not (Queue.is_empty t.tasks) then Some (Queue.pop t.tasks)
+      else if t.stopping then None
+      else begin
+        Condition.wait t.work_available t.mutex;
+        next ()
+      end
+    in
+    match next () with
+    | None -> Mutex.unlock t.mutex
+    | Some task ->
+        Mutex.unlock t.mutex;
+        (try task () with _ -> ());
+        Mutex.lock t.mutex;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.all_done;
+        Mutex.unlock t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    {
+      tasks = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      all_done = Condition.create ();
+      pending = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = List.length t.workers
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  t.pending <- t.pending + 1;
+  Queue.push task t.tasks;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let wait t =
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.all_done t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Run [f] on every element of [items] using [jobs] workers and return
+   the results in order. [jobs <= 1] runs inline on the calling domain
+   — bit-for-bit the same results, no domains spawned. *)
+let map_array ~jobs f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let pool = create ~workers:(min jobs n) in
+    Array.iteri
+      (fun i item -> submit pool (fun () -> results.(i) <- Some (f item)))
+      items;
+    wait pool;
+    shutdown pool;
+    Array.map
+      (function
+        | Some r -> r
+        | None ->
+            (* Unreachable: every task stores before finishing, and
+               [f] never raises by contract (the engine wraps jobs). *)
+            failwith "Pool.map_array: missing result")
+      results
+  end

@@ -1,0 +1,27 @@
+(** A fixed-size [Domain] worker pool over a mutex/condition work
+    queue. No dependencies beyond the OCaml runtime.
+
+    Tasks are expected not to raise; a raising task is swallowed so a
+    worker never strands the queue (wrap work in its own exception
+    capture — the sweep engine does). *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] domains (at least 1). *)
+
+val size : t -> int
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until every submitted task has finished. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join and release the worker domains. *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f items] applies [f] to every element on a
+    transient pool of [min jobs (length items)] workers, preserving
+    order. [jobs <= 1] runs inline on the calling domain. [f] must not
+    raise. *)

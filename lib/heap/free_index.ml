@@ -35,13 +35,24 @@ let remove_gap t start len =
   t.gaps <- Gap_tree.remove t.gaps ~start;
   t.by_len <- Len_set.remove (len, start) t.by_len
 
+(* The gap [(start, len)] below the frontier containing
+   [addr, addr + len) entirely, if any. Returning the extent (not just
+   the start) saves callers a second tree lookup. *)
+let containing_gap t ~addr ~len =
+  if addr >= t.frontier then None
+  else begin
+    match Gap_tree.pred t.gaps ~addr with
+    | Some (s, l) when addr + len <= s + l -> Some (s, l)
+    | Some _ | None -> None
+  end
+
 (* The gap (or tail) containing [addr, addr + len), if entirely free. *)
 let containing t ~addr ~len =
   if addr >= t.frontier then Some (Tail t.frontier)
   else begin
-    match Gap_tree.pred t.gaps ~addr with
-    | Some (s, l) when addr + len <= s + l -> Some (Gap s)
-    | Some _ | None -> None
+    match containing_gap t ~addr ~len with
+    | Some (s, _) -> Some (Gap s)
+    | None -> None
   end
 
 let is_free t ~addr ~len =
@@ -59,15 +70,9 @@ let occupy t ~addr ~len =
     t.frontier <- addr + len
   end
   else begin
-    match containing t ~addr ~len with
-    | None | Some (Tail _) ->
-        invalid_arg "Free_index.occupy: extent not free"
-    | Some (Gap s) ->
-        let l =
-          match Gap_tree.find t.gaps ~start:s with
-          | Some l -> l
-          | None -> assert false
-        in
+    match containing_gap t ~addr ~len with
+    | None -> invalid_arg "Free_index.occupy: extent not free"
+    | Some (s, l) ->
         remove_gap t s l;
         if addr > s then add_gap t s (addr - s);
         if addr + len < s + l then add_gap t (addr + len) (s + l - addr - len)
@@ -162,17 +167,24 @@ let first_aligned_fit_from t ~from ~size ~align =
 let iter_gaps t f = Gap_tree.iter t.gaps f
 let gaps t = Gap_tree.to_list t.gaps
 
-(* The k largest gaps, longest first. *)
-let largest_gaps t ~k =
-  let rec take n seq acc =
-    if n = 0 then List.rev acc
-    else begin
+(* The k largest gaps, longest first, straight off the by-length index
+   — no per-gap tree lookups and, for [iter], no list. *)
+let iter_largest_gaps t ~k f =
+  let rec go n seq =
+    if n > 0 then begin
       match Seq.uncons seq with
-      | Some ((len, start), rest) -> take (n - 1) rest ((start, len) :: acc)
-      | None -> List.rev acc
+      | Some ((len, start), rest) ->
+          f start len;
+          go (n - 1) rest
+      | None -> ()
     end
   in
-  take k (Len_set.to_rev_seq t.by_len) []
+  go k (Len_set.to_rev_seq t.by_len)
+
+let largest_gaps t ~k =
+  let acc = ref [] in
+  iter_largest_gaps t ~k (fun start len -> acc := (start, len) :: !acc);
+  List.rev !acc
 
 let check_invariants t =
   if not (Gap_tree.check_balanced t.gaps) then

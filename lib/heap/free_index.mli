@@ -66,5 +66,9 @@ val gaps : t -> (int * int) list
 val largest_gaps : t -> k:int -> (int * int) list
 (** The [k] largest gaps as [(start, len)], longest first. *)
 
+val iter_largest_gaps : t -> k:int -> (int -> int -> unit) -> unit
+(** [iter_largest_gaps t ~k f] calls [f start len] on the [k] largest
+    gaps, longest first, without materialising a list. *)
+
 val check_invariants : t -> unit
 (** Raises [Failure] on a broken structural invariant; for tests. *)

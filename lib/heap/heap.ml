@@ -41,7 +41,17 @@ let create () =
   }
 
 let on_event t f = t.listeners <- f :: t.listeners
-let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+(* Call sites guard on [has_listeners] so that with no subscribers the
+   event constructor itself is never allocated — alloc/free/move are
+   the simulator's innermost loop. *)
+let[@inline] has_listeners t = t.listeners != []
+
+let emit t ev =
+  match t.listeners with
+  | [] -> ()
+  | [ f ] -> f ev
+  | fs -> List.iter (fun f -> f ev) fs
 let live_words t = t.live_words
 let live_objects t = Oid.Table.length t.objects
 let allocated_total t = t.allocated_total
@@ -75,7 +85,7 @@ let alloc t ~addr ~size =
   t.live_words <- t.live_words + size;
   t.allocated_total <- t.allocated_total + size;
   bump_high_water t (addr + size);
-  emit t (Alloc o);
+  if has_listeners t then emit t (Alloc o);
   oid
 
 let free t oid =
@@ -85,7 +95,7 @@ let free t oid =
   t.by_addr <- Addr_map.remove o.addr t.by_addr;
   t.live_words <- t.live_words - o.size;
   t.freed_total <- t.freed_total + o.size;
-  emit t (Free o)
+  if has_listeners t then emit t (Free o)
 
 let move t oid ~dst =
   let o = get t oid in
@@ -106,33 +116,36 @@ let move t oid ~dst =
     t.by_addr <- Addr_map.add dst o' (Addr_map.remove o.addr t.by_addr);
     t.moved_total <- t.moved_total + o.size;
     bump_high_water t (dst + o.size);
-    emit t (Move { oid; size = o.size; src = o.addr; dst })
+    if has_listeners t then
+      emit t (Move { oid; size = o.size; src = o.addr; dst })
   end
 
 let iter_live t f = Addr_map.iter (fun _ o -> f o) t.by_addr
 let fold_live t ~init ~f = Addr_map.fold (fun _ o acc -> f acc o) t.by_addr init
 let live_list t = List.rev (fold_live t ~init:[] ~f:(fun acc o -> o :: acc))
 
-(* Live objects intersecting [start, stop), in address order. *)
-let objects_in t ~start ~stop =
-  let before =
+(* Fold over the live objects intersecting [start, stop) in address
+   order, straight off the address map — no intermediate list. This is
+   the hot query behind eviction cost estimates. *)
+let fold_objects_in t ~start ~stop ~init ~f =
+  let acc =
     match Addr_map.find_last_opt (fun a -> a < start) t.by_addr with
-    | Some (_, o) when o.addr + o.size > start -> [ o ]
-    | Some _ | None -> []
+    | Some (_, o) when o.addr + o.size > start -> f init o
+    | Some _ | None -> init
   in
-  let inside =
-    Addr_map.to_seq_from start t.by_addr
-    |> Seq.take_while (fun (a, _) -> a < stop)
-    |> Seq.map snd |> List.of_seq
+  let rec go acc seq =
+    match seq () with
+    | Seq.Cons ((a, o), rest) when a < stop -> go (f acc o) rest
+    | Seq.Cons _ | Seq.Nil -> acc
   in
-  before @ inside
+  go acc (Addr_map.to_seq_from start t.by_addr)
+
+let objects_in t ~start ~stop =
+  List.rev (fold_objects_in t ~start ~stop ~init:[] ~f:(fun acc o -> o :: acc))
 
 let occupied_words_in t ~start ~stop =
-  List.fold_left
-    (fun acc (o : obj) ->
+  fold_objects_in t ~start ~stop ~init:0 ~f:(fun acc o ->
       acc + (min stop (o.addr + o.size) - max start o.addr))
-    0
-    (objects_in t ~start ~stop)
 
 let check_invariants t =
   Free_index.check_invariants t.free;

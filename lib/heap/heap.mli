@@ -71,6 +71,12 @@ val live_list : t -> obj list
 val objects_in : t -> start:int -> stop:int -> obj list
 (** Live objects intersecting [\[start, stop)], in address order. *)
 
+val fold_objects_in :
+  t -> start:int -> stop:int -> init:'a -> f:('a -> obj -> 'a) -> 'a
+(** Fold over the live objects intersecting [\[start, stop)] in address
+    order without materialising a list — the allocation-free core of
+    {!objects_in} and {!occupied_words_in}. *)
+
 val occupied_words_in : t -> start:int -> stop:int -> int
 (** Number of live words inside [\[start, stop)]. *)
 

@@ -25,10 +25,8 @@ type candidate = { window_start : int; cost : int }
    size of the live objects intersecting it (straddlers count fully —
    they must be moved whole). *)
 let window_cost heap ~start ~size =
-  List.fold_left
-    (fun acc (o : Heap.obj) -> acc + o.size)
-    0
-    (Heap.objects_in heap ~start ~stop:(start + size))
+  Heap.fold_objects_in heap ~start ~stop:(start + size) ~init:0
+    ~f:(fun acc (o : Heap.obj) -> acc + o.size)
 
 (* Candidate [align]-aligned [size]-word windows below the frontier,
    cheapest first, discovered around the [max_gaps] largest gaps. *)
@@ -47,16 +45,14 @@ let window_candidates ?(max_gaps = 64) ctx ~size ~align =
       cands := { window_start = start; cost } :: !cands
     end
   in
-  List.iter
-    (fun (gs, gl) ->
+  Free_index.iter_largest_gaps free ~k:max_gaps (fun gs gl ->
       (* Windows overlapping this gap; a bounded number per gap. *)
       let w0 = gs / align and w1 = (gs + gl - 1) / align in
       let wlimit = min w1 (w0 + 3) in
       for w = w0 to wlimit do
         consider w
       done;
-      if w1 > wlimit then consider w1)
-    (Free_index.largest_gaps free ~k:max_gaps);
+      if w1 > wlimit then consider w1);
   List.sort
     (fun a b ->
       match Int.compare a.cost b.cost with

@@ -167,6 +167,63 @@ let prop_occupied_words =
       done;
       Heap.occupied_words_in h ~start ~stop:(start + len) = !brute)
 
+(* The fast range queries (a straight fold over the address map) agree
+   with a naive O(live) scan of the full live list, across randomised
+   alloc/free/move sequences and arbitrary query windows. Guards the
+   fold-based fast paths behind eviction cost estimates. *)
+let prop_range_queries_vs_naive =
+  QCheck.Test.make
+    ~name:"objects_in/occupied_words_in = naive O(live) reference" ~count:60
+    QCheck.(triple (int_bound 100_000) (int_range 20 250) (int_range 1 80))
+    (fun (seed, steps, qlen) ->
+      let st = Random.State.make [| seed |] in
+      let h = Heap.create () in
+      let live = ref [] in
+      for _ = 1 to steps do
+        match Random.State.int st 4 with
+        | 0 | 1 ->
+            let size = 1 + Random.State.int st 16 in
+            let addr = Random.State.int st 300 in
+            if Heap.is_free h ~addr ~size then
+              live := Heap.alloc h ~addr ~size :: !live
+        | 2 -> (
+            match !live with
+            | [] -> ()
+            | oid :: rest ->
+                Heap.free h oid;
+                live := rest)
+        | _ -> (
+            match !live with
+            | [] -> ()
+            | oid :: _ ->
+                let size = Heap.size h oid in
+                let cur = Heap.addr h oid in
+                let dst = Random.State.int st 300 in
+                if
+                  dst <> cur
+                  && (dst + size <= cur || dst >= cur + size)
+                  && Heap.is_free h ~addr:dst ~size
+                then Heap.move h oid ~dst)
+      done;
+      let start = Random.State.int st 320 in
+      let stop = start + qlen in
+      (* Naive reference: scan every live object. *)
+      let naive_objs =
+        List.filter
+          (fun (o : Heap.obj) -> o.addr < stop && o.addr + o.size > start)
+          (Heap.live_list h)
+      in
+      let naive_words =
+        List.fold_left
+          (fun acc (o : Heap.obj) ->
+            acc + (min stop (o.addr + o.size) - max start o.addr))
+          0 naive_objs
+      in
+      Heap.objects_in h ~start ~stop = naive_objs
+      && Heap.occupied_words_in h ~start ~stop = naive_words
+      && Heap.fold_objects_in h ~start ~stop ~init:0 ~f:(fun n _ -> n + 1)
+         = List.length naive_objs)
+
 let () =
   Alcotest.run "heap"
     [
@@ -183,5 +240,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_random_ops_invariants; prop_occupied_words ] );
+          [
+            prop_random_ops_invariants;
+            prop_occupied_words;
+            prop_range_queries_vs_naive;
+          ] );
     ]

@@ -1,0 +1,143 @@
+(* The parallel sweep engine: parallel execution must be bit-identical
+   to sequential execution, the result cache must serve re-runs
+   without executing anything (and without perturbing the numbers),
+   and one failing point must not kill a sweep. *)
+
+open Pc_exec
+
+let outcome : Pc_adversary.Runner.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun ppf o -> Pc_adversary.Runner.pp_outcome ppf o)
+    ( = )
+
+(* A small PF/Robson grid touching moving and non-moving managers. *)
+let grid () =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun manager -> Spec.pf ~c ~manager ~m:(1 lsl 12) ~n:(1 lsl 6) ())
+        [ "compacting"; "improved-ac"; "first-fit" ])
+    [ 8.0; 16.0 ]
+  @ List.map
+      (fun manager -> Spec.robson ~manager ~m:(1 lsl 12) ~n:(1 lsl 5) ())
+      [ "first-fit"; "buddy" ]
+  @ [
+      Spec.random_churn ~seed:11 ~churn:500 ~c:8.0 ~manager:"best-fit"
+        ~m:(1 lsl 10)
+        ~dist:(Pc_adversary.Random_workload.Pow2 { lo_log = 0; hi_log = 4 })
+        ~target_live:(1 lsl 9) ();
+    ]
+
+let outcomes results = List.map Engine.outcome_exn results
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pc_sweep_test_%d_%d" (Unix.getpid ()) !counter)
+
+let test_parallel_matches_sequential () =
+  let specs = grid () in
+  let r1, s1 = Engine.run ~jobs:1 specs in
+  let r4, s4 = Engine.run ~jobs:4 specs in
+  Alcotest.(check int) "all executed (seq)" (List.length specs) s1.executed;
+  Alcotest.(check int) "all executed (par)" (List.length specs) s4.executed;
+  Alcotest.(check int) "no failures" 0 s4.failed;
+  Alcotest.(check (list outcome))
+    "jobs=4 bit-identical to jobs=1" (outcomes r1) (outcomes r4)
+
+let test_cache_round_trip () =
+  let specs = grid () in
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  let r1, s1 = Engine.run ~jobs:2 ~cache specs in
+  Alcotest.(check int) "first run executes all" (List.length specs) s1.executed;
+  Alcotest.(check int) "first run has no hits" 0 s1.cached;
+  let r2, s2 = Engine.run ~jobs:2 ~cache specs in
+  Alcotest.(check int) "second run executes nothing" 0 s2.executed;
+  Alcotest.(check int) "second run fully cached" (List.length specs) s2.cached;
+  Alcotest.(check bool)
+    "hits marked as from_cache" true
+    (List.for_all (fun (r : Engine.job_result) -> r.from_cache) r2);
+  (* The JSON round-trip must be exact — floats included. *)
+  Alcotest.(check (list outcome))
+    "cached outcomes bit-identical" (outcomes r1) (outcomes r2)
+
+let test_failure_isolation () =
+  let bad = Spec.pf ~c:8.0 ~manager:"compacting" ~m:32 ~n:64 () in
+  (* m < n *)
+  let unknown = Spec.robson ~manager:"no-such-manager" ~m:256 ~n:16 () in
+  let good = Spec.robson ~manager:"first-fit" ~m:256 ~n:16 () in
+  let results, summary = Engine.run ~jobs:2 [ bad; good; unknown ] in
+  Alcotest.(check int) "two failures" 2 summary.failed;
+  match results with
+  | [ b; g; u ] ->
+      Alcotest.(check bool) "bad spec failed" true (Result.is_error b.result);
+      Alcotest.(check bool) "unknown manager failed" true
+        (Result.is_error u.result);
+      Alcotest.(check bool) "good spec survived" true (Result.is_ok g.result)
+  | _ -> Alcotest.fail "expected three results in input order"
+
+let test_spec_json_round_trip () =
+  List.iter
+    (fun spec ->
+      let spec' = Spec.of_json (Json.of_string (Json.to_string (Spec.to_json spec))) in
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trips: %s" (Spec.key spec))
+        true (Spec.equal spec spec'))
+    (grid ()
+    @ [
+        Spec.pf ~ell:2 ~stage1_steps:0 ~maintain_density:false ~c:32.0
+          ~manager:"sliding" ~m:4096 ~n:64 ();
+        Spec.pw ~steps:3 ~manager:"buddy" ~m:1024 ~n:32 ();
+        Spec.sawtooth ~rounds:4
+          ~pattern:(Spec.Random 3) ~c:8.0 ~manager:"next-fit" ~m:1024 ~n:32 ();
+      ])
+
+let test_cache_ignores_corrupt_entries () =
+  let spec = Spec.robson ~manager:"first-fit" ~m:256 ~n:16 () in
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  let path = Cache.path cache spec in
+  let oc = open_out path in
+  output_string oc "{ not json";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry is a miss" true (Cache.find cache spec = None);
+  let _, s = Engine.run ~cache [ spec ] in
+  Alcotest.(check int) "re-executed over corrupt entry" 1 s.executed;
+  Alcotest.(check bool) "entry repaired" true (Cache.find cache spec <> None)
+
+let test_pool_map_order () =
+  let items = Array.init 100 (fun i -> i) in
+  let doubled = Pool.map_array ~jobs:4 (fun i -> 2 * i) items in
+  Alcotest.(check (array int))
+    "order preserved under parallel map"
+    (Array.map (fun i -> 2 * i) items)
+    doubled
+
+let () =
+  Alcotest.run "sweep engine"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "pool preserves order" `Quick test_pool_map_order;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round trip" `Quick test_cache_round_trip;
+          Alcotest.test_case "corrupt entry = miss" `Quick
+            test_cache_ignores_corrupt_entries;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "failures are isolated" `Quick
+            test_failure_isolation;
+        ] );
+      ( "serialisation",
+        [
+          Alcotest.test_case "spec json round trip" `Quick
+            test_spec_json_round_trip;
+        ] );
+    ]
