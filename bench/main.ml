@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- sim-fig1 -j 8      8 worker domains
      dune exec bench/main.exe -- --small            toy scales (quick)
      dune exec bench/main.exe -- --json BENCH_results.json
+     dune exec bench/main.exe -- --backend ref      persistent substrate A/B
 
    Every simulated experiment (sim-*, ablation) runs through the
    Pc.Exec sweep engine: points execute on a Domain worker pool
@@ -155,7 +156,7 @@ let fig3 () =
 (* Table S1: PF vs c-partial managers, measured vs theory             *)
 
 let sim_lower opts =
-  let m, n = if opts.small then (1 lsl 16, 1 lsl 8) else (1 lsl 20, 1 lsl 10) in
+  let m, n = if opts.small then (1 lsl 16, 1 lsl 8) else (1 lsl 22, 1 lsl 11) in
   let cs = [ 8.0; 16.0; 32.0; 64.0 ] in
   let managers = [ "compacting"; "improved-ac"; "first-fit" ] in
   let spec c manager = Spec.pf ~c ~manager ~m ~n () in
@@ -246,7 +247,7 @@ let sim_average opts =
 (* Simulated Figure 1: the lower-bound curve, measured               *)
 
 let sim_fig1 opts =
-  let m, n = if opts.small then (1 lsl 15, 1 lsl 7) else (1 lsl 20, 1 lsl 10) in
+  let m, n = if opts.small then (1 lsl 15, 1 lsl 7) else (1 lsl 22, 1 lsl 11) in
   let cs = [ 6.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0; 64.0 ] in
   let managers = [ "compacting"; "improved-ac"; "sliding"; "bp-simple" ] in
   let spec c manager = Spec.pf ~c ~manager ~m ~n () in
@@ -369,6 +370,12 @@ let tests () =
       (Staged.stage (fun () ->
            Pc.run_pf ~m:(1 lsl 13) ~n:(1 lsl 6) ~manager:"compacting" ~c:16.0
              ()));
+    (* Same point pinned to the persistent backend: the in-harness A/B
+       for the substrate rewrite. *)
+    Test.make ~name:"sim-lower-point-c16-ref"
+      (Staged.stage (fun () ->
+           Pc.run_pf ~backend:Pc.Backend.Reference ~m:(1 lsl 13) ~n:(1 lsl 6)
+             ~manager:"compacting" ~c:16.0 ()));
     Test.make ~name:"sim-upper-robson"
       (Staged.stage (fun () ->
            Pc.run_robson ~m:(1 lsl 12) ~n:(1 lsl 6) ~manager:"first-fit" ()));
@@ -419,6 +426,17 @@ let timings () =
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report                                            *)
 
+(* Provenance: the commit the numbers came from, so entries appended
+   PR-over-PR stay attributable. Best-effort — "unknown" outside a git
+   checkout. *)
+let git_commit () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      if status = Unix.WEXITED 0 && line <> "" then line else "unknown"
+
 let write_json opts =
   match opts.json_path with
   | None -> ()
@@ -427,6 +445,10 @@ let write_json opts =
         Json.Obj
           [
             ("unix_time", Json.Float (Unix.gettimeofday ()));
+            ("commit", Json.String (git_commit ()));
+            ( "backend",
+              Json.String (Pc.Backend.to_string (Pc.Backend.default ())) );
+            ("ocaml", Json.String Sys.ocaml_version);
             ("jobs", Json.Int opts.jobs);
             ("scale", Json.String (if opts.small then "small" else "default"));
             ("cache", Json.Bool (opts.cache <> None));
@@ -470,6 +492,11 @@ let write_json opts =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* Simulations churn short-lived lists and closures; the 256k-word
+     default minor heap forces constant promotion at these rates. One
+     harness-wide bump (both backends alike) keeps the measurements
+     about the substrate, not the collector. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 1 lsl 20 };
   let rec parse opts no_cache cache_dir = function
     | [] -> (opts, no_cache, cache_dir)
     | ("--jobs" | "-j") :: v :: rest ->
@@ -479,6 +506,9 @@ let () =
           | Some _ | None -> Fmt.invalid_arg "bad --jobs value %S" v
         in
         parse { opts with jobs } no_cache cache_dir rest
+    | "--backend" :: v :: rest ->
+        Pc.Backend.set_default (Pc.Backend.of_string_exn v);
+        parse opts no_cache cache_dir rest
     | "--no-cache" :: rest -> parse opts true cache_dir rest
     | "--cache-dir" :: d :: rest -> parse opts no_cache (Some d) rest
     | "--json" :: p :: rest ->

@@ -59,6 +59,17 @@ let manager_arg =
     value & opt string "compacting"
     & info [ "manager" ] ~docv:"NAME" ~doc:("Memory manager: " ^ keys ^ "."))
 
+let backend_arg =
+  let backend_conv = Arg.conv (Pc.Backend.of_string, Pc.Backend.pp) in
+  Arg.(
+    value
+    & opt backend_conv (Pc.Backend.default ())
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Heap substrate: $(b,imperative) (the fast flat/radix default) or \
+           $(b,reference) (the persistent oracle). Also settable via \
+           $(b,PC_HEAP_BACKEND).")
+
 (* ------------------------------------------------------------------ *)
 (* pc bounds                                                          *)
 
@@ -137,7 +148,8 @@ let figure_cmd =
 (* pc simulate                                                        *)
 
 let simulate_cmd =
-  let run program manager m n c seed =
+  let run program manager m n c seed backend =
+    Pc.Backend.set_default backend;
     let mgr = Pc.Managers.construct_exn manager in
     match program with
     | "pf" ->
@@ -213,7 +225,7 @@ let simulate_cmd =
        ~doc:"Run an adversary or random workload against a manager.")
     Term.(
       const run $ program_arg $ manager_arg $ m_small $ n_small $ c_small
-      $ seed_arg)
+      $ seed_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc diagram                                                         *)

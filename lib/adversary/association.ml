@@ -180,25 +180,35 @@ let merge_step t =
   (* Merge half-pairs that now share a chunk. *)
   Hashtbl.iter
     (fun nidx (nch : chunk) ->
+      (* Count the halves per oid once, then rebuild in one pass: a
+         pair's first half is dropped and its second becomes the whole
+         entry — the same list the remove-on-second-encounter fold
+         produced, without the quadratic mid-list removal. An object
+         has at most two half entries in total, so a count is a pair
+         indicator. *)
+      let halves = Hashtbl.create 8 in
+      List.iter
+        (fun (e : entry) ->
+          if e.half then begin
+            let key = Oid.to_int e.oid in
+            Hashtbl.replace halves key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt halves key))
+          end)
+        nch.entries;
       let seen = Hashtbl.create 8 in
       let merged_entries =
         List.fold_left
-          (fun acc e ->
+          (fun acc (e : entry) ->
             if not e.half then e :: acc
             else begin
               let key = Oid.to_int e.oid in
-              match Hashtbl.find_opt seen key with
-              | Some () ->
-                  (* second half of the same object in this chunk *)
-                  Hashtbl.remove seen key;
-                  { e with half = false }
-                  :: List.filter
-                       (fun x ->
-                         not (Oid.equal x.oid e.oid && x.half))
-                       acc
-              | None ->
+              if Hashtbl.find halves key = 2 then
+                if Hashtbl.mem seen key then { e with half = false } :: acc
+                else begin
                   Hashtbl.add seen key ();
-                  e :: acc
+                  acc
+                end
+              else e :: acc
             end)
           [] nch.entries
       in

@@ -74,20 +74,23 @@ let density_pass view assoc ~threshold =
   List.iter (fun idx -> Queue.add idx work) (Association.chunk_indices assoc);
   while not (Queue.is_empty work) do
     let idx = Queue.pop work in
-    let rec shrink () =
-      let s = Association.sum assoc idx in
-      let entries =
-        Association.entries assoc idx
-        |> List.sort (fun a b ->
-               Int.compare (Association.entry_size b) (Association.entry_size a))
-      in
-      match
-        List.find_opt
-          (fun e -> s - Association.entry_size e >= threshold)
-          entries
-      with
-      | None -> ()
-      | Some e ->
+    (* One sorted pass is equivalent to Algorithm 1's "repeatedly drop
+       the largest droppable entry": dropping an entry only shrinks the
+       associated sum, so an entry that failed [s - |e| >= threshold]
+       can never become droppable later — the scan position is
+       monotone, and re-sorting after every removal (the literal
+       reading) would reproduce exactly this sequence of drops. *)
+    let entries =
+      Association.entries assoc idx
+      |> List.sort (fun a b ->
+             Int.compare (Association.entry_size b) (Association.entry_size a))
+    in
+    let s = ref (Association.sum assoc idx) in
+    List.iter
+      (fun (e : Association.entry) ->
+        let sz = Association.entry_size e in
+        if !s - sz >= threshold then begin
+          s := !s - sz;
           if e.half then begin
             match Association.migrate_half assoc ~from_idx:idx e with
             | Some dest -> Queue.add dest work
@@ -98,10 +101,9 @@ let density_pass view assoc ~threshold =
             match View.find view e.oid with
             | Some r -> View.free view r
             | None -> failwith "Pf: association entry without view record"
-          end;
-          shrink ()
-    in
-    shrink ()
+          end
+        end)
+      entries
   done
 
 exception

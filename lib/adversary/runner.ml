@@ -23,13 +23,13 @@ type outcome = {
   compliant : bool; (* c-partial rule never violated *)
 }
 
-let run ?c ?(check = false) ?(check_every = 64) ~program ~manager () =
+let run ?backend ?c ?(check = false) ?(check_every = 64) ~program ~manager () =
   if check_every <= 0 then invalid_arg "Runner.run: check_every must be > 0";
   let budget =
     match c with Some c -> Budget.create ~c | None -> Budget.unlimited ()
   in
   let m = Program.live_bound program in
-  let ctx = Ctx.create ~budget ~live_bound:m () in
+  let ctx = Ctx.create ?backend ~budget ~live_bound:m () in
   let driver = Driver.create ctx manager in
   if check then begin
     (* Sampled: the full invariant sweep is O(live), so running it on

@@ -17,6 +17,7 @@ type outcome = {
 }
 
 val run :
+  ?backend:Pc_heap.Backend.t ->
   ?c:float ->
   ?check:bool ->
   ?check_every:int ->
@@ -24,10 +25,12 @@ val run :
   manager:Pc_manager.Manager.t ->
   unit ->
   outcome
-(** [c] bounds the manager's compaction (omit for unlimited). [check]
-    (default false) samples the full heap invariant check during the
-    run: one event in [check_every] (default 64) triggers the O(live)
-    sweep — set [check_every:1] to check every event, tests only. A
-    full check always runs once at the end of every execution. *)
+(** [c] bounds the manager's compaction (omit for unlimited). [backend]
+    selects the heap substrate (default {!Pc_heap.Backend.default}).
+    [check] (default false) samples the full heap invariant check
+    during the run: one event in [check_every] (default 64) triggers
+    the O(live) sweep — set [check_every:1] to check every event, tests
+    only. A full check always runs once at the end of every
+    execution. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

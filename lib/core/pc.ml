@@ -4,6 +4,7 @@
    drivers for the common experiments. *)
 
 (* Substrate *)
+module Backend = Pc_heap.Backend
 module Word = Pc_heap.Word
 module Interval = Pc_heap.Interval
 module Oid = Pc_heap.Oid
@@ -58,10 +59,10 @@ type pf_report = {
   theory_h : float; (* Theorem 1 waste factor at these parameters *)
 }
 
-let run_pf ?ell ~m ~n ~c ~manager () =
+let run_pf ?backend ?ell ~m ~n ~c ~manager () =
   let mgr = Managers.construct_exn manager in
   let config, program = Pf.program ?ell ~m ~n ~c () in
-  let outcome = Runner.run ~c ~program ~manager:mgr () in
+  let outcome = Runner.run ?backend ~c ~program ~manager:mgr () in
   let theory_h = Pc_bounds.Cohen_petrank.waste_factor ~m ~n ~c in
   { outcome; config; theory_h }
 
@@ -72,8 +73,8 @@ type robson_report = {
   theory_waste : float; (* Robson's bound divided by M *)
 }
 
-let run_robson ?steps ~m ~n ~manager () =
+let run_robson ?backend ?steps ~m ~n ~manager () =
   let mgr = Managers.construct_exn manager in
   let program = Robson_pr.program ?steps ~m ~n () in
-  let outcome = Runner.run ~program ~manager:mgr () in
+  let outcome = Runner.run ?backend ~program ~manager:mgr () in
   { outcome; theory_waste = Pc_bounds.Robson.waste_factor_pow2 ~m ~n }

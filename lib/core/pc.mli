@@ -4,7 +4,8 @@
     Compaction: Towards Practical Bounds}, PLDI 2013.
 
     Layers:
-    - substrate: {!Heap}, {!Free_index}, {!Budget}, {!Metrics},
+    - substrate: {!Heap}, {!Free_index} (each with an imperative and a
+      reference backend, see {!Backend}), {!Budget}, {!Metrics},
       {!Trace}, {!Layout};
     - memory managers: {!Manager}, {!Managers} (registry of
       first/best/next/worst fit, buddy, segregated, aligned fit, and
@@ -14,6 +15,7 @@
     - closed-form bounds: {!Bounds};
     - the parallel sweep engine with its result cache: {!Exec}. *)
 
+module Backend = Pc_heap.Backend
 module Word = Pc_heap.Word
 module Interval = Pc_heap.Interval
 module Oid = Pc_heap.Oid
@@ -62,6 +64,7 @@ type pf_report = {
 }
 
 val run_pf :
+  ?backend:Pc_heap.Backend.t ->
   ?ell:int ->
   m:int ->
   n:int ->
@@ -78,6 +81,12 @@ type robson_report = {
 }
 
 val run_robson :
-  ?steps:int -> m:int -> n:int -> manager:string -> unit -> robson_report
+  ?backend:Pc_heap.Backend.t ->
+  ?steps:int ->
+  m:int ->
+  n:int ->
+  manager:string ->
+  unit ->
+  robson_report
 (** Run Robson's adversary [P_R] against a manager from {!Managers},
     with no compaction budget. *)

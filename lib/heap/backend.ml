@@ -1,0 +1,44 @@
+(* Which heap substrate newly created heaps and free indexes use.
+
+   Both backends implement the same observable semantics (the
+   differential suite in test/test_backend_diff.ml pins placements,
+   frontier, gap lists and metrics to be identical); they differ only
+   in data representation and speed:
+
+   - [Imperative]: flat object store + radix-bitmap free index, O(1)
+     amortised alloc/free/move, allocation-free fit queries. The
+     default.
+   - [Reference]: the original persistent substrate (AVL gap tree +
+     by-length set + address map). Kept as the semantic oracle and for
+     A/B timing.
+
+   The process-wide default is [Imperative], overridable with the
+   PC_HEAP_BACKEND environment variable ("imperative"/"reference") or
+   programmatically with [set_default]. The default is read atomically
+   so Domain-based sweep workers observe a coherent value. *)
+
+type t = Imperative | Reference
+
+let to_string = function Imperative -> "imperative" | Reference -> "reference"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "imperative" | "imp" -> Ok Imperative
+  | "reference" | "ref" -> Ok Reference
+  | _ ->
+      Error
+        (`Msg
+          (Fmt.str "unknown heap backend %S (expected imperative|reference)" s))
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error (`Msg m) -> invalid_arg m
+
+let state =
+  Atomic.make
+    (match Sys.getenv_opt "PC_HEAP_BACKEND" with
+    | None | Some "" -> Imperative
+    | Some s -> of_string_exn s)
+
+let default () = Atomic.get state
+let set_default b = Atomic.set state b
+let pp ppf t = Fmt.string ppf (to_string t)

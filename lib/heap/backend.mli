@@ -1,0 +1,23 @@
+(** Selection of the heap substrate backend.
+
+    Both backends are observably identical (pinned by the differential
+    test suite); [Imperative] is the fast flat/radix substrate and the
+    default, [Reference] is the original persistent substrate kept as
+    the semantic oracle and for A/B timing.
+
+    The process-wide default is [Imperative] unless the
+    [PC_HEAP_BACKEND] environment variable says otherwise; it can also
+    be set programmatically. [Heap.create] and [Free_index.create]
+    consult it when no explicit backend is passed. *)
+
+type t = Imperative | Reference
+
+val default : unit -> t
+val set_default : t -> unit
+
+val of_string : string -> (t, [ `Msg of string ]) result
+(** Accepts "imperative"/"imp" and "reference"/"ref". *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

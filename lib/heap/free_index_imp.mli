@@ -1,0 +1,38 @@
+(** Imperative free-space index: a mutable 32-ary radix bitmap over gap
+    start addresses with per-node max-gap-length augmentation.
+    Observationally identical to [Free_index_ref] (pinned by the
+    differential test suite) with O(log32 address-range) occupy,
+    release and fit queries that allocate nothing on the hot path. See
+    [Free_index] for the dispatching front-end and the full interface
+    documentation. *)
+
+type t
+
+type fit = Heap_types.fit =
+  | Gap of int  (** address inside an existing gap *)
+  | Tail of int  (** address at (or aligned just above) the frontier *)
+
+val create : unit -> t
+val frontier : t -> int
+val gap_count : t -> int
+val free_below_frontier : t -> int
+val largest_gap : t -> int
+val is_free : t -> addr:int -> len:int -> bool
+val occupy : t -> addr:int -> len:int -> unit
+val release : t -> addr:int -> len:int -> unit
+val first_fit : t -> size:int -> fit
+val first_fit_gap : t -> size:int -> int option
+val first_fit_from : t -> from:int -> size:int -> int option
+val best_fit_gap : t -> size:int -> int option
+val worst_fit_gap : t -> size:int -> int option
+val first_aligned_fit : t -> size:int -> align:int -> fit
+val first_aligned_fit_gap : t -> size:int -> align:int -> int option
+
+val first_aligned_fit_from :
+  t -> from:int -> size:int -> align:int -> int option
+
+val iter_gaps : t -> (int -> int -> unit) -> unit
+val gaps : t -> (int * int) list
+val largest_gaps : t -> k:int -> (int * int) list
+val iter_largest_gaps : t -> k:int -> (int -> int -> unit) -> unit
+val check_invariants : t -> unit

@@ -1,16 +1,8 @@
-(** Index of the free space of a conceptually unbounded heap [\[0, ∞)].
-
-    Free space consists of a finite set of maximal gaps below a
-    [frontier], plus the infinite free tail at [\[frontier, ∞)].
-
-    Two observationally identical backends implement the index (the
-    differential suite pins placements, gap lists and metrics to be
-    bit-identical): the imperative radix-bitmap substrate
-    ([Free_index_imp], the default — O(log32 address-range) mutations
-    and fit queries, allocation-free hot paths) and the original
-    persistent substrate ([Free_index_ref] — AVL gap tree plus a
-    by-length set, O(log gaps) with rebuild churn), selected per index
-    at {!create} time or process-wide via [Backend]. *)
+(** Reference (persistent) free-space index: AVL gap tree plus a
+    by-length set. Kept as the semantic oracle for the imperative
+    backend; see [Free_index] for the dispatching front-end and the
+    full interface documentation. All fit queries are exact and run in
+    time logarithmic in the number of gaps. *)
 
 type t
 
@@ -18,16 +10,7 @@ type fit = Heap_types.fit =
   | Gap of int  (** address inside an existing gap *)
   | Tail of int  (** address at (or aligned just above) the frontier *)
 
-val create : ?backend:Backend.t -> unit -> t
-(** [create ()] uses {!Backend.default}. *)
-
-val backend : t -> Backend.t
-
-val of_ref : Free_index_ref.t -> t
-(** Wrap a concrete backend index (for the [Heap] dispatcher and
-    backend-specific tests). *)
-
-val of_imp : Free_index_imp.t -> t
+val create : unit -> t
 
 val frontier : t -> int
 (** All addresses at or above the frontier are free. *)
@@ -44,8 +27,7 @@ val occupy : t -> addr:int -> len:int -> unit
 val release : t -> addr:int -> len:int -> unit
 (** Mark an occupied extent free, coalescing with neighbours and the
     tail. Raises [Invalid_argument] if any part is already free or the
-    extent reaches beyond the frontier; a rejected release leaves the
-    index unchanged. *)
+    extent reaches beyond the frontier. *)
 
 val first_fit : t -> size:int -> fit
 (** Lowest address where [size] words fit (always succeeds thanks to
@@ -63,8 +45,7 @@ val best_fit_gap : t -> size:int -> int option
     address). *)
 
 val worst_fit_gap : t -> size:int -> int option
-(** Address of the largest gap if it can hold [size] words (ties:
-    highest address). *)
+(** Address of the largest gap if it can hold [size] words. *)
 
 val first_aligned_fit : t -> size:int -> align:int -> fit
 (** Lowest [align]-divisible address where [size] words fit. *)
@@ -81,8 +62,7 @@ val gaps : t -> (int * int) list
 (** [(start, len)] pairs in address order. *)
 
 val largest_gaps : t -> k:int -> (int * int) list
-(** The [k] largest gaps as [(start, len)], longest first (ties:
-    descending start). *)
+(** The [k] largest gaps as [(start, len)], longest first. *)
 
 val iter_largest_gaps : t -> k:int -> (int -> int -> unit) -> unit
 (** [iter_largest_gaps t ~k f] calls [f start len] on the [k] largest

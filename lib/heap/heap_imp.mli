@@ -1,0 +1,43 @@
+(** Imperative heap backend: flat slot arrays plus an address bitset,
+    over [Free_index_imp]. O(1) alloc/free/move (plus the free-index
+    update) and allocation-free range accounting. Observationally
+    identical to [Heap_ref]; see the dispatching [Heap] for the full
+    interface documentation. *)
+
+type obj = Heap_types.obj = { oid : Oid.t; addr : int; size : int }
+
+type event = Heap_types.event =
+  | Alloc of obj
+  | Free of obj
+  | Move of { oid : Oid.t; size : int; src : int; dst : int }
+
+type t
+
+val create : unit -> t
+val on_event : t -> (event -> unit) -> unit
+val alloc : t -> addr:int -> size:int -> Oid.t
+val free : t -> Oid.t -> unit
+val move : t -> Oid.t -> dst:int -> unit
+val find : t -> Oid.t -> obj option
+val get : t -> Oid.t -> obj
+val addr : t -> Oid.t -> int
+val size : t -> Oid.t -> int
+val live_words : t -> int
+val live_objects : t -> int
+val allocated_total : t -> int
+val moved_total : t -> int
+val freed_total : t -> int
+val high_water : t -> int
+val free_index : t -> Free_index_imp.t
+val is_free : t -> addr:int -> size:int -> bool
+val iter_live : t -> (obj -> unit) -> unit
+val fold_live : t -> init:'a -> f:('a -> obj -> 'a) -> 'a
+val live_list : t -> obj list
+val objects_in : t -> start:int -> stop:int -> obj list
+
+val fold_objects_in :
+  t -> start:int -> stop:int -> init:'a -> f:('a -> obj -> 'a) -> 'a
+
+val occupied_words_in : t -> start:int -> stop:int -> int
+val clear_cost : t -> start:int -> stop:int -> cap:int -> int
+val check_invariants : t -> unit

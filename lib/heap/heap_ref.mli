@@ -1,4 +1,7 @@
-(** The simulated heap.
+(** Reference (persistent) heap backend: hashtable object store plus a
+    persistent address map, over [Free_index_ref]. Kept as the semantic
+    oracle for [Heap_imp]; see the dispatching [Heap] for the full
+    interface documentation.
 
     A set of live objects placed at disjoint word extents of [\[0, ∞)],
     with the bookkeeping the paper's model needs: cumulative allocated
@@ -9,14 +12,7 @@
 
     The heap is policy-free: {i where} objects go is decided by a
     memory manager (see [Pc_manager]); {i which} objects exist is
-    decided by a program (see [Pc_adversary]).
-
-    Two observationally identical backends implement the heap (the
-    differential suite pins every query result to be bit-identical):
-    the imperative flat-array substrate ([Heap_imp], the default) and
-    the original persistent substrate ([Heap_ref], the semantic
-    oracle), selected per heap at {!create} time or process-wide via
-    [Backend]. *)
+    decided by a program (see [Pc_adversary]). *)
 
 type obj = Heap_types.obj = { oid : Oid.t; addr : int; size : int }
 
@@ -27,10 +23,7 @@ type event = Heap_types.event =
 
 type t
 
-val create : ?backend:Backend.t -> unit -> t
-(** [create ()] uses {!Backend.default}. *)
-
-val backend : t -> Backend.t
+val create : unit -> t
 
 val on_event : t -> (event -> unit) -> unit
 (** Subscribe to heap events; listeners fire synchronously, most
@@ -67,11 +60,9 @@ val freed_total : t -> int
 val high_water : t -> int
 (** The heap size [HS] so far. *)
 
-val free_index : t -> Free_index.t
+val free_index : t -> Free_index_ref.t
 (** The free-space index (shared, read-only by convention: managers
-    must mutate the heap only through {!alloc}/{!free}/{!move}).
-    Allocates a small dispatch wrapper — cache the result on hot
-    paths. *)
+    must mutate the heap only through {!alloc}/{!free}/{!move}). *)
 
 val is_free : t -> addr:int -> size:int -> bool
 val iter_live : t -> (obj -> unit) -> unit
@@ -90,15 +81,8 @@ val fold_objects_in :
     {!objects_in} and {!occupied_words_in}. *)
 
 val occupied_words_in : t -> start:int -> stop:int -> int
-(** Number of live words inside [\[start, stop)]. *)
-
 val clear_cost : t -> start:int -> stop:int -> cap:int -> int
-(** Total size of the live objects intersecting [\[start, stop)]
-    (straddlers count fully) — the cost of clearing a window, for
-    planners that discard over-budget windows. [cap] is an early-exit
-    hint: callers must only rely on the exact value when it is at most
-    [cap]. Both current backends happen to return the exact total (the
-    imperative one from a Fenwick tree in [O(log m)]). *)
+(** Number of live words inside [\[start, stop)]. *)
 
 val check_invariants : t -> unit
 (** Full [O(n)] consistency check; raises [Failure] on drift. *)

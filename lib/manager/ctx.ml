@@ -9,19 +9,38 @@ open Pc_heap
    Budget.Exceeded when a manager over-compacts). Managers therefore
    never touch the budget except to *query* the remaining quota. *)
 
-type t = { heap : Heap.t; budget : Budget.t; live_bound : int }
+type t = {
+  heap : Heap.t;
+  free : Free_index.t; (* Heap.free_index heap, cached: managers query
+                          it on every placement decision and the
+                          dispatch wrapper should be built only once *)
+  budget : Budget.t;
+  live_bound : int;
+  (* Generation-stamped scratch for planners (Evict's window dedup):
+     a slot is considered marked iff it holds the current generation,
+     so clearing between uses is a single counter bump. *)
+  mutable scratch : int array;
+  mutable scratch_gen : int;
+}
 
-let create ?budget ~live_bound () =
+let create ?backend ?budget ~live_bound () =
   if live_bound <= 0 then invalid_arg "Ctx.create: non-positive live bound";
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
-  let heap = Heap.create () in
+  let heap = Heap.create ?backend () in
   Heap.on_event heap (function
     | Heap.Alloc o -> Budget.on_alloc budget o.size
     | Heap.Move m -> Budget.charge_move budget m.size
     | Heap.Free _ -> ());
-  { heap; budget; live_bound }
+  {
+    heap;
+    free = Heap.free_index heap;
+    budget;
+    live_bound;
+    scratch = [||];
+    scratch_gen = 0;
+  }
 
 let heap t = t.heap
 let budget t = t.budget
 let live_bound t = t.live_bound
-let free_index t = Heap.free_index t.heap
+let free_index t = t.free

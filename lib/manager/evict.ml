@@ -29,36 +29,70 @@ let window_cost heap ~start ~size =
     ~f:(fun acc (o : Heap.obj) -> acc + o.size)
 
 (* Candidate [align]-aligned [size]-word windows below the frontier,
-   cheapest first, discovered around the [max_gaps] largest gaps. *)
-let window_candidates ?(max_gaps = 64) ctx ~size ~align =
+   cheapest first, discovered around the [max_gaps] largest gaps.
+   Windows costing more than [cost_cap] may report any cost above it.
+
+   This runs on every heap-growing allocation of the compacting
+   managers, so it must not allocate per considered window. *)
+let candidates_capped ?(max_gaps = 64) ~cost_cap ctx ~size ~align =
   let heap = Ctx.heap ctx in
   let free = Ctx.free_index ctx in
   let frontier = Free_index.frontier free in
-  let seen = Hashtbl.create 64 in
   let cands = ref [] in
+  (* The same few windows surface from many gaps; an O(1)
+     generation-stamped dedup beats rescanning the candidate list on
+     every hit. *)
+  let gen = ctx.Ctx.scratch_gen + 1 in
+  ctx.Ctx.scratch_gen <- gen;
+  let need = (frontier / align) + 2 in
+  if Array.length ctx.Ctx.scratch < need then
+    ctx.Ctx.scratch <- Array.make (max need 1024) 0;
+  let seen = ctx.Ctx.scratch in
   let consider w =
-    let start = w * align in
-    if start >= 0 && start + size <= frontier && not (Hashtbl.mem seen w)
-    then begin
-      Hashtbl.add seen w ();
-      let cost = window_cost heap ~start ~size in
-      cands := { window_start = start; cost } :: !cands
+    if w >= 0 && Array.unsafe_get seen w <> gen then begin
+      Array.unsafe_set seen w gen;
+      let start = w * align in
+      if start + size <= frontier then begin
+        let cost =
+          Heap.clear_cost heap ~start ~stop:(start + size) ~cap:cost_cap
+        in
+        cands := { window_start = start; cost } :: !cands
+      end
     end
   in
+  (* Two divisions per inspected gap add up; managers align windows to
+     powers of two, so shift instead when possible. *)
+  let ashift =
+    if align > 0 && align land (align - 1) = 0 then begin
+      let s = ref 0 in
+      while 1 lsl !s < align do
+        incr s
+      done;
+      !s
+    end
+    else -1
+  in
+  let wof = if ashift >= 0 then fun a -> a lsr ashift else fun a -> a / align in
   Free_index.iter_largest_gaps free ~k:max_gaps (fun gs gl ->
       (* Windows overlapping this gap; a bounded number per gap. *)
-      let w0 = gs / align and w1 = (gs + gl - 1) / align in
+      let w0 = wof gs and w1 = wof (gs + gl - 1) in
       let wlimit = min w1 (w0 + 3) in
       for w = w0 to wlimit do
         consider w
       done;
       if w1 > wlimit then consider w1);
-  List.sort
-    (fun a b ->
-      match Int.compare a.cost b.cost with
-      | 0 -> Int.compare a.window_start b.window_start
-      | c -> c)
-    !cands
+  match !cands with
+  | ([] | [ _ ]) as l -> l
+  | l ->
+      List.sort
+        (fun a b ->
+          match Int.compare a.cost b.cost with
+          | 0 -> Int.compare a.window_start b.window_start
+          | c -> c)
+        l
+
+let window_candidates ?max_gaps ctx ~size ~align =
+  candidates_capped ?max_gaps ~cost_cap:max_int ctx ~size ~align
 
 (* Default relocation target: lowest-addressed existing gap that does
    not overlap the window being cleared. *)
@@ -85,8 +119,10 @@ let try_evict ?(max_attempts = 3) ?max_gaps ?relocate ctx ~size ~align
   let budget = Ctx.budget ctx in
   let cap = min move_cap (Budget.available budget) in
   let candidates =
-    window_candidates ?max_gaps ctx ~size ~align
-    |> List.filter (fun c -> c.cost <= cap)
+    if Free_index.gap_count (Ctx.free_index ctx) = 0 then []
+    else
+      candidates_capped ?max_gaps ~cost_cap:cap ctx ~size ~align
+      |> List.filter (fun c -> c.cost <= cap)
   in
   let attempt { window_start; _ } =
     let avoid = Interval.of_extent ~start:window_start ~len:size in

@@ -1,0 +1,234 @@
+open Pc_heap
+
+(* Differential suite pinning the imperative heap substrate to the
+   persistent reference backend. Every observable — per-op results
+   (including failure messages), placements, frontier, gap list, fit
+   queries, range queries, metrics snapshots — must be bit-identical
+   between [Backend.Imperative] and [Backend.Reference] heaps driven by
+   the same operation sequence. A second layer replays the paper's
+   adversaries through every registered manager on both backends and
+   compares the full outcomes. *)
+
+let fail fmt = QCheck.Test.fail_reportf fmt
+
+let obj_key (o : Heap.obj) = (Oid.to_int o.oid, o.addr, o.size)
+
+let check_same what pp a b =
+  if a <> b then fail "%s differs:@ imperative %a@ reference %a" what pp a pp b
+
+let pp_pair_list =
+  Fmt.Dump.list (Fmt.Dump.pair Fmt.int Fmt.int)
+
+let pp_opt = Fmt.Dump.option Fmt.int
+
+let pp_fit ppf = function
+  | Free_index.Gap a -> Fmt.pf ppf "Gap %d" a
+  | Free_index.Tail a -> Fmt.pf ppf "Tail %d" a
+
+let pp_triple_list =
+  Fmt.Dump.list (fun ppf (o, a, s) -> Fmt.pf ppf "(#%d,%d,%d)" o a s)
+
+(* Compare every observable of the two heaps. *)
+let check_state hi hr =
+  check_same "live_list" pp_triple_list
+    (List.map obj_key (Heap.live_list hi))
+    (List.map obj_key (Heap.live_list hr));
+  check_same "high_water" Fmt.int (Heap.high_water hi) (Heap.high_water hr);
+  check_same "live_words" Fmt.int (Heap.live_words hi) (Heap.live_words hr);
+  check_same "live_objects" Fmt.int (Heap.live_objects hi)
+    (Heap.live_objects hr);
+  check_same "allocated_total" Fmt.int
+    (Heap.allocated_total hi)
+    (Heap.allocated_total hr);
+  check_same "moved_total" Fmt.int (Heap.moved_total hi) (Heap.moved_total hr);
+  check_same "freed_total" Fmt.int (Heap.freed_total hi) (Heap.freed_total hr);
+  let fi = Heap.free_index hi and fr = Heap.free_index hr in
+  check_same "frontier" Fmt.int (Free_index.frontier fi)
+    (Free_index.frontier fr);
+  check_same "gap_count" Fmt.int (Free_index.gap_count fi)
+    (Free_index.gap_count fr);
+  check_same "free_below_frontier" Fmt.int
+    (Free_index.free_below_frontier fi)
+    (Free_index.free_below_frontier fr);
+  check_same "largest_gap" Fmt.int (Free_index.largest_gap fi)
+    (Free_index.largest_gap fr);
+  check_same "gaps" pp_pair_list (Free_index.gaps fi) (Free_index.gaps fr);
+  let si = Metrics.snapshot hi and sr = Metrics.snapshot hr in
+  if si <> sr then
+    fail "metrics snapshot differs:@ imperative %a@ reference %a" Metrics.pp si
+      Metrics.pp sr
+
+(* Compare the fit/range query surface at randomly drawn arguments. *)
+let check_queries st hi hr =
+  let fi = Heap.free_index hi and fr = Heap.free_index hr in
+  let size = 1 + Random.State.int st 32 in
+  let align = 1 lsl Random.State.int st 5 in
+  let from = Random.State.int st 512 in
+  let k = Random.State.int st 8 in
+  check_same "first_fit" pp_fit
+    (Free_index.first_fit fi ~size)
+    (Free_index.first_fit fr ~size);
+  check_same "first_fit_gap" pp_opt
+    (Free_index.first_fit_gap fi ~size)
+    (Free_index.first_fit_gap fr ~size);
+  check_same "first_fit_from" pp_opt
+    (Free_index.first_fit_from fi ~from ~size)
+    (Free_index.first_fit_from fr ~from ~size);
+  check_same "best_fit_gap" pp_opt
+    (Free_index.best_fit_gap fi ~size)
+    (Free_index.best_fit_gap fr ~size);
+  check_same "worst_fit_gap" pp_opt
+    (Free_index.worst_fit_gap fi ~size)
+    (Free_index.worst_fit_gap fr ~size);
+  check_same "first_aligned_fit" pp_fit
+    (Free_index.first_aligned_fit fi ~size ~align)
+    (Free_index.first_aligned_fit fr ~size ~align);
+  check_same "first_aligned_fit_gap" pp_opt
+    (Free_index.first_aligned_fit_gap fi ~size ~align)
+    (Free_index.first_aligned_fit_gap fr ~size ~align);
+  check_same "first_aligned_fit_from" pp_opt
+    (Free_index.first_aligned_fit_from fi ~from ~size ~align)
+    (Free_index.first_aligned_fit_from fr ~from ~size ~align);
+  check_same "largest_gaps" pp_pair_list
+    (Free_index.largest_gaps fi ~k)
+    (Free_index.largest_gaps fr ~k);
+  let start = Random.State.int st 512 in
+  let stop = start + 1 + Random.State.int st 96 in
+  check_same "objects_in" pp_triple_list
+    (List.map obj_key (Heap.objects_in hi ~start ~stop))
+    (List.map obj_key (Heap.objects_in hr ~start ~stop));
+  check_same "occupied_words_in" Fmt.int
+    (Heap.occupied_words_in hi ~start ~stop)
+    (Heap.occupied_words_in hr ~start ~stop);
+  check_same "fold_objects_in count" Fmt.int
+    (Heap.fold_objects_in hi ~start ~stop ~init:0 ~f:(fun n _ -> n + 1))
+    (Heap.fold_objects_in hr ~start ~stop ~init:0 ~f:(fun n _ -> n + 1))
+
+(* Apply the same (possibly invalid) operation to both heaps and demand
+   the same result — same oid on success, same exception message on
+   failure. *)
+let both what f g =
+  let attempt h =
+    match f h with
+    | v -> Ok v
+    | exception Invalid_argument m -> Error m
+  in
+  let ri = attempt (fst g) and rr = attempt (snd g) in
+  match (ri, rr) with
+  | Ok a, Ok b -> Some (a, b)
+  | Error a, Error b ->
+      if a <> b then fail "%s failure messages differ: %S vs %S" what a b;
+      None
+  | Ok _, Error m -> fail "%s: imperative succeeded, reference raised %S" what m
+  | Error m, Ok _ -> fail "%s: imperative raised %S, reference succeeded" what m
+
+let prop_lockstep =
+  QCheck.Test.make
+    ~name:"imperative backend = reference backend on random op sequences"
+    ~count:80
+    QCheck.(pair (int_bound 1_000_000) (int_range 30 300))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed |] in
+      let hi = Heap.create ~backend:Backend.Imperative () in
+      let hr = Heap.create ~backend:Backend.Reference () in
+      let pair = (hi, hr) in
+      let live = ref [] in
+      for step = 1 to steps do
+        (match Random.State.int st 6 with
+        | 0 | 1 ->
+            (* Allocation at an arbitrary address — may collide with a
+               live object, in which case both backends must reject it
+               with the same message and consume no oid. *)
+            let size = 1 + Random.State.int st 16 in
+            let addr = Random.State.int st 400 in
+            (match
+               both "alloc" (fun h -> Heap.alloc h ~addr ~size) pair
+             with
+            | Some (a, b) ->
+                if Oid.to_int a <> Oid.to_int b then
+                  fail "alloc returned #%d vs #%d" (Oid.to_int a)
+                    (Oid.to_int b);
+                live := a :: !live
+            | None -> ())
+        | 2 -> (
+            match !live with
+            | [] -> ()
+            | oid :: rest ->
+                ignore (both "free" (fun h -> Heap.free h oid) pair : (unit * unit) option);
+                live := rest)
+        | 3 -> (
+            (* Move to an arbitrary destination, overlapping slides and
+               collisions included; failures must roll back identically
+               on both sides. *)
+            match !live with
+            | [] -> ()
+            | oid :: _ ->
+                let dst = Random.State.int st 400 in
+                ignore
+                  (both "move" (fun h -> Heap.move h oid ~dst) pair
+                    : (unit * unit) option))
+        | 4 -> check_queries st hi hr
+        | _ ->
+            (* Occasional double free / dangling access. *)
+            let dead = Oid.of_int (Random.State.int st 64) in
+            if not (List.exists (fun o -> Oid.to_int o = Oid.to_int dead) !live)
+            then
+              ignore
+                (both "get dead" (fun h -> ignore (Heap.get h dead : Heap.obj)) pair
+                  : (unit * unit) option));
+        if step land 15 = 0 then check_state hi hr
+      done;
+      check_state hi hr;
+      check_queries st hi hr;
+      Heap.check_invariants hi;
+      Heap.check_invariants hr;
+      true)
+
+(* End-to-end determinism: the paper's adversaries, driven through
+   every registered manager, must report identical outcomes on both
+   backends. *)
+let strip_names (o : Pc_adversary.Runner.outcome) =
+  (o.m, o.n, o.c, o.hs, o.allocated, o.moved, o.freed, o.final_live,
+   o.compliant)
+
+let test_pf_outcomes_agree () =
+  List.iter
+    (fun key ->
+      let run backend =
+        (Pc_core.Pc.run_pf ~backend ~m:(1 lsl 12) ~n:(1 lsl 6) ~c:8.0
+           ~manager:key ())
+          .outcome
+      in
+      let oi = run Backend.Imperative and orf = run Backend.Reference in
+      if strip_names oi <> strip_names orf then
+        Alcotest.failf "PF vs %s: backends disagree:@ %a@ %a" key
+          Pc_adversary.Runner.pp_outcome oi Pc_adversary.Runner.pp_outcome orf)
+    Pc_manager.Registry.keys
+
+let test_robson_outcomes_agree () =
+  List.iter
+    (fun key ->
+      let run backend =
+        (Pc_core.Pc.run_robson ~backend ~m:(1 lsl 10) ~n:(1 lsl 4)
+           ~manager:key ())
+          .outcome
+      in
+      let oi = run Backend.Imperative and orf = run Backend.Reference in
+      if strip_names oi <> strip_names orf then
+        Alcotest.failf "Robson vs %s: backends disagree:@ %a@ %a" key
+          Pc_adversary.Runner.pp_outcome oi Pc_adversary.Runner.pp_outcome orf)
+    Pc_manager.Registry.keys
+
+let () =
+  Alcotest.run "backend-diff"
+    [
+      ( "lockstep",
+        [ QCheck_alcotest.to_alcotest ~long:true prop_lockstep ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "PF outcomes agree across backends" `Quick
+            test_pf_outcomes_agree;
+          Alcotest.test_case "Robson outcomes agree across backends" `Quick
+            test_robson_outcomes_agree;
+        ] );
+    ]

@@ -43,10 +43,10 @@ module Model = struct
 end
 
 (* A random script of valid operations, executed against both. *)
-let run_script seed steps =
+let run_script backend seed steps =
   let st = Random.State.make [| seed |] in
   let model = Model.create () in
-  let index = Free_index.create () in
+  let index = Free_index.create ~backend () in
   let live = ref [] in
   (* (addr, len) list *)
   let script_ok = ref true in
@@ -88,14 +88,17 @@ let run_script seed steps =
   done;
   !script_ok
 
-let prop_against_model =
-  QCheck.Test.make ~name:"random occupy/release agrees with model"
+let prop_against_model backend =
+  QCheck.Test.make
+    ~name:
+      (Fmt.str "random occupy/release agrees with model (%a)" Backend.pp
+         backend)
     ~count:60
     QCheck.(pair (int_bound 100_000) (int_range 10 300))
-    (fun (seed, steps) -> run_script seed steps)
+    (fun (seed, steps) -> run_script backend seed steps)
 
-let test_tail_carving () =
-  let t = Free_index.create () in
+let test_tail_carving backend () =
+  let t = Free_index.create ~backend () in
   Alcotest.(check int) "initial frontier" 0 (Free_index.frontier t);
   Free_index.occupy t ~addr:10 ~len:5;
   Alcotest.(check int) "frontier jumps" 15 (Free_index.frontier t);
@@ -105,8 +108,8 @@ let test_tail_carving () =
   Alcotest.(check int) "frontier retracts fully" 0 (Free_index.frontier t);
   Alcotest.(check int) "no gaps" 0 (Free_index.gap_count t)
 
-let test_coalescing () =
-  let t = Free_index.create () in
+let test_coalescing backend () =
+  let t = Free_index.create ~backend () in
   Free_index.occupy t ~addr:0 ~len:30;
   Free_index.release t ~addr:5 ~len:5;
   Free_index.release t ~addr:15 ~len:5;
@@ -117,8 +120,8 @@ let test_coalescing () =
   Alcotest.(check (list (pair int int))) "merged" [ (5, 15) ] (Free_index.gaps t);
   Free_index.check_invariants t
 
-let test_double_free_rejected () =
-  let t = Free_index.create () in
+let test_double_free_rejected backend () =
+  let t = Free_index.create ~backend () in
   Free_index.occupy t ~addr:0 ~len:10;
   Free_index.release t ~addr:2 ~len:3;
   Alcotest.check_raises "double free"
@@ -128,15 +131,15 @@ let test_double_free_rejected () =
     (Invalid_argument "Free_index.release: extent already free") (fun () ->
       Free_index.release t ~addr:0 ~len:10)
 
-let test_occupy_occupied_rejected () =
-  let t = Free_index.create () in
+let test_occupy_occupied_rejected backend () =
+  let t = Free_index.create ~backend () in
   Free_index.occupy t ~addr:0 ~len:10;
   Alcotest.check_raises "overlap below frontier"
     (Invalid_argument "Free_index.occupy: extent not free") (fun () ->
       Free_index.occupy t ~addr:5 ~len:3)
 
-let test_fit_queries () =
-  let t = Free_index.create () in
+let test_fit_queries backend () =
+  let t = Free_index.create ~backend () in
   Free_index.occupy t ~addr:0 ~len:100;
   Free_index.release t ~addr:10 ~len:4;
   (* gap A: [10,14) *)
@@ -167,17 +170,54 @@ let test_fit_queries () =
   Alcotest.(check (list (pair int int))) "largest gaps" [ (30, 16); (60, 8) ]
     (Free_index.largest_gaps t ~k:2)
 
+(* A release whose extent starts exactly at an existing gap's start
+   must be rejected as already free — the coalesce-left probe sees the
+   gap as its own predecessor (s = addr, s + l > addr) — and likewise
+   when the gap is found by the successor probe (release strictly
+   below an existing gap it overlaps). A rejected release must leave
+   the index untouched. *)
+let test_release_at_gap_start backend () =
+  let t = Free_index.create ~backend () in
+  Free_index.occupy t ~addr:0 ~len:20;
+  Free_index.release t ~addr:5 ~len:10;
+  (* gap [5, 15) *)
+  let snapshot () =
+    (Free_index.gaps t, Free_index.frontier t, Free_index.free_below_frontier t)
+  in
+  let before = snapshot () in
+  let already_free = Invalid_argument "Free_index.release: extent already free" in
+  Alcotest.check_raises "release at gap start" already_free (fun () ->
+      Free_index.release t ~addr:5 ~len:4);
+  Alcotest.check_raises "release of whole gap" already_free (fun () ->
+      Free_index.release t ~addr:5 ~len:10);
+  Alcotest.check_raises "release overlapping gap start from below" already_free
+    (fun () -> Free_index.release t ~addr:3 ~len:4);
+  Alcotest.check_raises "release inside gap" already_free (fun () ->
+      Free_index.release t ~addr:7 ~len:2);
+  Alcotest.(check (triple (list (pair int int)) int int))
+    "rejected releases leave the index untouched" before (snapshot ());
+  Free_index.check_invariants t
+
+let suite backend =
+  let tc name f = Alcotest.test_case name `Quick (f backend) in
+  ( Fmt.str "unit (%a)" Backend.pp backend,
+    [
+      tc "tail carving" test_tail_carving;
+      tc "coalescing" test_coalescing;
+      tc "double free" test_double_free_rejected;
+      tc "release at gap start" test_release_at_gap_start;
+      tc "occupy occupied" test_occupy_occupied_rejected;
+      tc "fit queries" test_fit_queries;
+    ] )
+
 let () =
   Alcotest.run "free_index"
     [
-      ( "unit",
-        [
-          Alcotest.test_case "tail carving" `Quick test_tail_carving;
-          Alcotest.test_case "coalescing" `Quick test_coalescing;
-          Alcotest.test_case "double free" `Quick test_double_free_rejected;
-          Alcotest.test_case "occupy occupied" `Quick test_occupy_occupied_rejected;
-          Alcotest.test_case "fit queries" `Quick test_fit_queries;
-        ] );
+      suite Backend.Imperative;
+      suite Backend.Reference;
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_against_model ] );
+        [
+          QCheck_alcotest.to_alcotest (prop_against_model Backend.Imperative);
+          QCheck_alcotest.to_alcotest (prop_against_model Backend.Reference);
+        ] );
     ]

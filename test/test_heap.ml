@@ -2,8 +2,8 @@ open Pc_heap
 
 let check_int = Alcotest.(check int)
 
-let test_alloc_free_basics () =
-  let h = Heap.create () in
+let test_alloc_free_basics backend () =
+  let h = Heap.create ~backend () in
   let a = Heap.alloc h ~addr:0 ~size:10 in
   let b = Heap.alloc h ~addr:20 ~size:5 in
   check_int "live words" 15 (Heap.live_words h);
@@ -18,8 +18,8 @@ let test_alloc_free_basics () =
   check_int "high water sticky" 25 (Heap.high_water h);
   Heap.check_invariants h
 
-let test_overlap_rejected () =
-  let h = Heap.create () in
+let test_overlap_rejected backend () =
+  let h = Heap.create ~backend () in
   ignore (Heap.alloc h ~addr:0 ~size:10 : Oid.t);
   Alcotest.check_raises "overlap"
     (Invalid_argument "Free_index.occupy: extent not free") (fun () ->
@@ -27,16 +27,16 @@ let test_overlap_rejected () =
   Alcotest.check_raises "bad size" (Invalid_argument "Heap.alloc: non-positive size")
     (fun () -> ignore (Heap.alloc h ~addr:50 ~size:0 : Oid.t))
 
-let test_double_free_rejected () =
-  let h = Heap.create () in
+let test_double_free_rejected backend () =
+  let h = Heap.create ~backend () in
   let a = Heap.alloc h ~addr:0 ~size:4 in
   Heap.free h a;
   Alcotest.check_raises "double free"
     (Invalid_argument "Heap.get: unknown or dead object") (fun () ->
       Heap.free h a)
 
-let test_move () =
-  let h = Heap.create () in
+let test_move backend () =
+  let h = Heap.create ~backend () in
   let a = Heap.alloc h ~addr:0 ~size:8 in
   let _b = Heap.alloc h ~addr:8 ~size:8 in
   Heap.move h a ~dst:32;
@@ -52,8 +52,8 @@ let test_move () =
   check_int "rollback kept address" 32 (Heap.addr h a);
   Heap.check_invariants h
 
-let test_sliding_move () =
-  let h = Heap.create () in
+let test_sliding_move backend () =
+  let h = Heap.create ~backend () in
   let a = Heap.alloc h ~addr:10 ~size:8 in
   (* overlapping slide down: [10,18) -> [6,14) *)
   Heap.move h a ~dst:6;
@@ -61,14 +61,14 @@ let test_sliding_move () =
   check_int "moved total" 8 (Heap.moved_total h);
   Heap.check_invariants h
 
-let test_move_noop () =
-  let h = Heap.create () in
+let test_move_noop backend () =
+  let h = Heap.create ~backend () in
   let a = Heap.alloc h ~addr:4 ~size:4 in
   Heap.move h a ~dst:4;
   check_int "noop move costs nothing" 0 (Heap.moved_total h)
 
-let test_objects_in () =
-  let h = Heap.create () in
+let test_objects_in backend () =
+  let h = Heap.create ~backend () in
   let _a = Heap.alloc h ~addr:0 ~size:10 in
   let _b = Heap.alloc h ~addr:16 ~size:8 in
   let _c = Heap.alloc h ~addr:30 ~size:4 in
@@ -83,8 +83,8 @@ let test_objects_in () =
     (Heap.occupied_words_in h ~start:5 ~stop:20);
   check_int "occupied words all" 22 (Heap.occupied_words_in h ~start:0 ~stop:40)
 
-let test_events () =
-  let h = Heap.create () in
+let test_events backend () =
+  let h = Heap.create ~backend () in
   let log = ref [] in
   Heap.on_event h (fun e -> log := e :: !log);
   let a = Heap.alloc h ~addr:0 ~size:4 in
@@ -100,13 +100,16 @@ let test_events () =
 
 (* Random operation scripts preserve every heap invariant, and the
    recorded trace replays to an identical heap. *)
-let prop_random_ops_invariants =
-  QCheck.Test.make ~name:"random ops: invariants hold and trace replays"
+let prop_random_ops_invariants backend =
+  QCheck.Test.make
+    ~name:
+      (Fmt.str "random ops: invariants hold and trace replays [%a]" Backend.pp
+         backend)
     ~count:40
     QCheck.(pair (int_bound 100_000) (int_range 10 200))
     (fun (seed, steps) ->
       let st = Random.State.make [| seed |] in
-      let h = Heap.create () in
+      let h = Heap.create ~backend () in
       let trace = Trace.create () in
       Trace.record trace h;
       let live = ref [] in
@@ -149,12 +152,14 @@ let prop_random_ops_invariants =
            !live)
 
 (* occupied_words_in agrees with a per-word brute force count. *)
-let prop_occupied_words =
-  QCheck.Test.make ~name:"occupied_words_in matches brute force" ~count:40
+let prop_occupied_words backend =
+  QCheck.Test.make
+    ~name:(Fmt.str "occupied_words_in matches brute force [%a]" Backend.pp backend)
+    ~count:40
     QCheck.(triple (int_bound 100_000) (int_bound 200) (int_range 1 60))
     (fun (seed, start, len) ->
       let st = Random.State.make [| seed |] in
-      let h = Heap.create () in
+      let h = Heap.create ~backend () in
       for _ = 1 to 30 do
         let size = 1 + Random.State.int st 12 in
         let addr = Random.State.int st 200 in
@@ -171,13 +176,16 @@ let prop_occupied_words =
    with a naive O(live) scan of the full live list, across randomised
    alloc/free/move sequences and arbitrary query windows. Guards the
    fold-based fast paths behind eviction cost estimates. *)
-let prop_range_queries_vs_naive =
+let prop_range_queries_vs_naive backend =
   QCheck.Test.make
-    ~name:"objects_in/occupied_words_in = naive O(live) reference" ~count:60
+    ~name:
+      (Fmt.str "objects_in/occupied_words_in = naive O(live) reference [%a]"
+         Backend.pp backend)
+    ~count:60
     QCheck.(triple (int_bound 100_000) (int_range 20 250) (int_range 1 80))
     (fun (seed, steps, qlen) ->
       let st = Random.State.make [| seed |] in
-      let h = Heap.create () in
+      let h = Heap.create ~backend () in
       let live = ref [] in
       for _ = 1 to steps do
         match Random.State.int st 4 with
@@ -224,25 +232,31 @@ let prop_range_queries_vs_naive =
       && Heap.fold_objects_in h ~start ~stop ~init:0 ~f:(fun n _ -> n + 1)
          = List.length naive_objs)
 
-let () =
-  Alcotest.run "heap"
-    [
-      ( "unit",
+let suite backend =
+  let name fmt = Fmt.str fmt Backend.pp backend in
+  [
+    ( name "unit [%a]",
+      [
+        Alcotest.test_case "alloc/free basics" `Quick
+          (test_alloc_free_basics backend);
+        Alcotest.test_case "overlap rejected" `Quick
+          (test_overlap_rejected backend);
+        Alcotest.test_case "double free rejected" `Quick
+          (test_double_free_rejected backend);
+        Alcotest.test_case "move" `Quick (test_move backend);
+        Alcotest.test_case "sliding move" `Quick (test_sliding_move backend);
+        Alcotest.test_case "noop move" `Quick (test_move_noop backend);
+        Alcotest.test_case "objects_in" `Quick (test_objects_in backend);
+        Alcotest.test_case "events" `Quick (test_events backend);
+      ] );
+    ( name "properties [%a]",
+      List.map QCheck_alcotest.to_alcotest
         [
-          Alcotest.test_case "alloc/free basics" `Quick test_alloc_free_basics;
-          Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
-          Alcotest.test_case "double free rejected" `Quick test_double_free_rejected;
-          Alcotest.test_case "move" `Quick test_move;
-          Alcotest.test_case "sliding move" `Quick test_sliding_move;
-          Alcotest.test_case "noop move" `Quick test_move_noop;
-          Alcotest.test_case "objects_in" `Quick test_objects_in;
-          Alcotest.test_case "events" `Quick test_events;
+          prop_random_ops_invariants backend;
+          prop_occupied_words backend;
+          prop_range_queries_vs_naive backend;
         ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [
-            prop_random_ops_invariants;
-            prop_occupied_words;
-            prop_range_queries_vs_naive;
-          ] );
-    ]
+  ]
+
+let () =
+  Alcotest.run "heap" (suite Backend.Imperative @ suite Backend.Reference)
