@@ -16,6 +16,13 @@
    the job spec (_pc_cache/ by default; --no-cache bypasses,
    --cache-dir relocates), so a re-run only executes new points.
 
+   Fault tolerance: each sweep journals outcomes to
+   <cache-dir>/sweeps/ as they land, so a run killed mid-sweep resumes
+   with --resume; --retries N / --timeout S bound transient failures;
+   --inject-faults SPEC (e.g. "crash=0.3,trunc=0.2,seed=7") drives the
+   chaos mode and makes the harness exit nonzero if any point is left
+   unrecovered.
+
    Experiments (see DESIGN.md section 4):
      fig1        lower bound h vs c (this paper vs [4] vs trivial)
      fig2        lower bound h vs n (c = 100, M = 256n)
@@ -43,11 +50,23 @@ let line fmt = Fmt.pr (fmt ^^ "@.")
 type opts = {
   jobs : int;
   cache : Cache.t option;
+  cache_dir : string;
+      (* resolved directory: journals live under <cache_dir>/sweeps
+         even when --no-cache disables the result cache itself *)
   json_path : string option;
   small : bool;  (* toy scales: quick smoke runs, CI *)
   no_timing : bool;
   selected : string list;
+  resume : bool;  (* replay journaled outcomes of a killed run *)
+  retries : int;
+  timeout : float option;
+  faults : Pc.Exec.Faults.t option;  (* chaos mode *)
 }
+
+(* Under --inject-faults any point left failed means the fault layer
+   beat the recovery machinery: report it through the exit code so CI
+   can assert zero unrecovered failures. *)
+let unrecovered = ref false
 
 (* Machine-readable report accumulators (--json). *)
 let sweep_records : Json.t list ref = ref []
@@ -61,6 +80,9 @@ let record_sweep name (s : Engine.summary) =
         ("points", Json.Int s.total);
         ("executed", Json.Int s.executed);
         ("cached", Json.Int s.cached);
+        ("resumed", Json.Int s.resumed);
+        ("recovered", Json.Int s.recovered);
+        ("retried", Json.Int s.retried);
         ("failed", Json.Int s.failed);
         ("wall_s", Json.Float s.wall);
       ]
@@ -68,10 +90,27 @@ let record_sweep name (s : Engine.summary) =
 
 (* Run one sweep through the engine and return a lookup from spec to
    its result. Every simulated table below builds its full grid first,
-   runs it in one engine call (maximal parallelism), then renders. *)
+   runs it in one engine call (maximal parallelism), then renders.
+   When a cache directory is in play each sweep also keeps a
+   checkpoint journal under <cache-dir>/sweeps/, so a run killed
+   mid-sweep resumes with --resume instead of re-executing finished
+   points. *)
 let run_sweep opts name specs =
-  let results, summary = Engine.run ~jobs:opts.jobs ?cache:opts.cache specs in
+  let checkpoint =
+    Pc.Exec.Checkpoint.open_ ~resume:opts.resume
+      ~dir:(Pc.Exec.Checkpoint.default_dir ~cache_dir:opts.cache_dir)
+      specs
+  in
+  let results, summary =
+    Fun.protect
+      ~finally:(fun () -> Pc.Exec.Checkpoint.close checkpoint)
+      (fun () ->
+        Engine.run ~jobs:opts.jobs ?cache:opts.cache ~checkpoint
+          ~retries:opts.retries ?timeout:opts.timeout ?faults:opts.faults
+          specs)
+  in
   line "    [%s: %a]" name Engine.pp_summary summary;
+  if opts.faults <> None && summary.failed > 0 then unrecovered := true;
   record_sweep name summary;
   let tbl = Hashtbl.create (2 * List.length specs) in
   List.iter
@@ -478,12 +517,20 @@ let write_json opts =
         else []
       in
       let report = Json.Obj [ ("runs", Json.List (previous @ [ entry ])) ] in
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc (Json.to_string ~indent:true report);
-          output_char oc '\n');
+      (* Atomic like the result cache: a run killed mid-write must not
+         destroy the accumulated perf trajectory. *)
+      let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+      (try
+         let oc = open_out_bin tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             output_string oc (Json.to_string ~indent:true report);
+             output_char oc '\n')
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp path;
       line "";
       line "wrote %s (%d run%s)" path
         (List.length previous + 1)
@@ -511,6 +558,28 @@ let () =
         parse opts no_cache cache_dir rest
     | "--no-cache" :: rest -> parse opts true cache_dir rest
     | "--cache-dir" :: d :: rest -> parse opts no_cache (Some d) rest
+    | "--resume" :: rest -> parse { opts with resume = true } no_cache cache_dir rest
+    | "--retries" :: v :: rest ->
+        let retries =
+          match int_of_string_opt v with
+          | Some r when r >= 0 -> r
+          | Some _ | None -> Fmt.invalid_arg "bad --retries value %S" v
+        in
+        parse { opts with retries } no_cache cache_dir rest
+    | "--timeout" :: v :: rest ->
+        let timeout =
+          match float_of_string_opt v with
+          | Some t when t > 0. -> t
+          | Some _ | None -> Fmt.invalid_arg "bad --timeout value %S" v
+        in
+        parse { opts with timeout = Some timeout } no_cache cache_dir rest
+    | "--inject-faults" :: v :: rest ->
+        let faults =
+          match Pc.Exec.Faults.of_string v with
+          | Ok f -> f
+          | Error msg -> Fmt.invalid_arg "bad --inject-faults spec: %s" msg
+        in
+        parse { opts with faults = Some faults } no_cache cache_dir rest
     | "--json" :: p :: rest ->
         parse { opts with json_path = Some p } no_cache cache_dir rest
     | "--small" :: rest -> parse { opts with small = true } no_cache cache_dir rest
@@ -524,10 +593,15 @@ let () =
       {
         jobs = 1;
         cache = None;
+        cache_dir = Cache.default_dir ();
         json_path = None;
         small = false;
         no_timing = false;
         selected = [];
+        resume = false;
+        retries = 2;
+        timeout = None;
+        faults = None;
       }
       false None
       (List.tl (Array.to_list Sys.argv))
@@ -536,6 +610,8 @@ let () =
     {
       opts with
       cache = (if no_cache then None else Some (Cache.create ?dir:cache_dir ()));
+      cache_dir =
+        (match cache_dir with Some d -> d | None -> Cache.default_dir ());
     }
   in
   let wants name =
@@ -551,4 +627,9 @@ let () =
   if wants "ablation" then ablation opts;
   if (not opts.no_timing) && (opts.selected = [] || wants "timings") then
     timings ();
-  write_json opts
+  write_json opts;
+  if !unrecovered then begin
+    line "";
+    line "FAIL: injected faults left unrecovered failures (see summaries)";
+    exit 1
+  end

@@ -329,17 +329,48 @@ let trace_cmd =
 (* pc sweep                                                           *)
 
 let sweep_cmd =
-  let run manager m n cs jobs no_cache cache_dir =
+  let run manager m n cs jobs no_cache cache_dir resume retries timeout
+      inject_faults =
     (* Each (c, manager) point is a deterministic job spec: points run
-       on the engine's Domain pool and completed points are served
-       from the on-disk result cache on re-runs. *)
+       on the engine's Domain pool, completed points are served from
+       the on-disk result cache on re-runs, and every outcome is
+       journaled as it lands so a killed sweep resumes with --resume. *)
     let module Spec = Pc.Exec.Spec in
     let module Engine = Pc.Exec.Engine in
+    let module Checkpoint = Pc.Exec.Checkpoint in
+    let faults =
+      match inject_faults with
+      | None -> None
+      | Some spec -> (
+          match Pc.Exec.Faults.of_string spec with
+          | Ok f -> Some f
+          | Error msg ->
+              Fmt.epr "bad --inject-faults spec: %s@." msg;
+              exit 2)
+    in
     let cache =
       if no_cache then None else Some (Pc.Exec.Cache.create ?dir:cache_dir ())
     in
     let specs = List.map (fun c -> Spec.pf ~c ~manager ~m ~n ()) cs in
-    let results, summary = Engine.run ~jobs ?cache specs in
+    let journal_dir =
+      Checkpoint.default_dir
+        ~cache_dir:
+          (match cache_dir with
+          | Some d -> d
+          | None -> Pc.Exec.Cache.default_dir ())
+    in
+    let checkpoint = Checkpoint.open_ ~resume ~dir:journal_dir specs in
+    if resume && Checkpoint.loaded checkpoint > 0 then
+      Fmt.pr "resuming: %d of %d outcome(s) journaled in %s@."
+        (Checkpoint.loaded checkpoint)
+        (List.length specs)
+        (Checkpoint.path_of checkpoint);
+    let results, summary =
+      Fun.protect
+        ~finally:(fun () -> Checkpoint.close checkpoint)
+        (fun () ->
+          Engine.run ~jobs ?cache ~checkpoint ~retries ?timeout ?faults specs)
+    in
     Fmt.pr "%6s %4s %10s %10s %8s %10s %7s@." "c" "l" "theory h" "HS/M"
       "moved" "compliant" "source";
     List.iter2
@@ -350,9 +381,12 @@ let sweep_cmd =
             let cfg = Pc.Pf.config ~m ~n ~c () in
             Fmt.pr "%6g %4d %10.3f %10.3f %8d %10b %7s@." c cfg.ell
               (Float.max cfg.h 1.0) o.hs_over_m o.moved o.compliant
-              (if r.from_cache then "cache" else "run"))
+              (if r.from_cache then "cache"
+               else if r.from_journal then "journal"
+               else "run"))
       cs results;
-    Fmt.pr "%a@." Engine.pp_summary summary
+    Fmt.pr "%a@." Engine.pp_summary summary;
+    if faults <> None && summary.failed > 0 then exit 1
   in
   let jobs_arg =
     Arg.(
@@ -374,6 +408,43 @@ let sweep_cmd =
             "Result cache directory (default: $(b,PC_CACHE_DIR) or \
              $(b,_pc_cache)).")
   in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay outcomes journaled by a previous (possibly killed) run \
+             of the same sweep from $(b,<cache-dir>/sweeps/), re-executing \
+             only the missing points. Without this flag the journal is \
+             truncated and the sweep starts clean.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a job up to $(docv) times after a transient failure \
+             (worker crash, timeout), with exponential backoff and seeded \
+             jitter. Deterministic failures are never retried past one \
+             reproduction probe.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-attempt wall-clock budget; an attempt exceeding it counts \
+             as a transient failure and is retried.")
+  in
+  let inject_faults_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Chaos mode: inject seeded faults at job and cache boundaries, \
+             e.g. $(b,crash=0.3,delay=0.15,trunc=0.2,corrupt=0.2,seed=7). \
+             Exits nonzero if any point is left unrecovered.")
+  in
   let m_small =
     Arg.(
       value & opt size_conv (1 lsl 14)
@@ -394,10 +465,12 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Sweep PF over compaction bounds against one manager (Table S1), \
-          in parallel and with result caching.")
+          in parallel, with result caching, checkpoint/resume and optional \
+          fault injection.")
     Term.(
       const run $ manager_arg $ m_small $ n_small $ cs_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg)
+      $ no_cache_arg $ cache_dir_arg $ resume_arg $ retries_arg $ timeout_arg
+      $ inject_faults_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc managers                                                        *)

@@ -39,6 +39,8 @@ module Exec = struct
   module Spec = Pc_exec.Spec
   module Pool = Pc_exec.Pool
   module Cache = Pc_exec.Cache
+  module Checkpoint = Pc_exec.Checkpoint
+  module Faults = Pc_exec.Faults
   module Engine = Pc_exec.Engine
 end
 

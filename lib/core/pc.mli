@@ -46,6 +46,8 @@ module Exec : sig
   module Spec = Pc_exec.Spec
   module Pool = Pc_exec.Pool
   module Cache = Pc_exec.Cache
+  module Checkpoint = Pc_exec.Checkpoint
+  module Faults = Pc_exec.Faults
   module Engine = Pc_exec.Engine
 end
 

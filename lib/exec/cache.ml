@@ -94,25 +94,49 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let find t spec =
+type lookup =
+  | Hit of Runner.outcome
+  | Miss
+  | Invalid of { path : string; reason : string }
+
+let lookup ?faults t spec =
   let path = path t spec in
-  if not (Sys.file_exists path) then None
+  if not (Sys.file_exists path) then Miss
   else begin
-    match Json.of_string (read_file path) with
-    | exception _ -> None (* unreadable / truncated: treat as a miss *)
+    let content =
+      let raw = read_file path in
+      match faults with
+      | None -> raw
+      | Some f -> (
+          match Faults.mangle_read f ~digest:(Spec.digest spec) raw with
+          | Some corrupted -> corrupted
+          | None -> raw)
+    in
+    match Json.of_string content with
+    | exception _ ->
+        Invalid { path; reason = "unreadable entry (truncated or garbage)" }
     | entry -> (
-        let ok =
-          Json.member "format" entry = Some (Json.Int Spec.cache_format)
-          && Json.member "key" entry = Some (Json.String (Spec.key spec))
-        in
-        if not ok then None
+        if Json.member "format" entry <> Some (Json.Int Spec.cache_format) then
+          Invalid { path; reason = "stale or missing format version" }
+        else if Json.member "key" entry <> Some (Json.String (Spec.key spec))
+        then
+          (* The file is named by this spec's digest but records a
+             different canonical key: a digest collision or a mangled
+             entry. Never serve it. *)
+          Invalid { path; reason = "key mismatch (digest collision?)" }
         else
           match Json.member "outcome" entry with
-          | None -> None
-          | Some o -> ( try Some (outcome_of_json o) with _ -> None))
+          | None -> Invalid { path; reason = "missing outcome" }
+          | Some o -> (
+              match outcome_of_json o with
+              | outcome -> Hit outcome
+              | exception _ -> Invalid { path; reason = "malformed outcome" }))
   end
 
-let store t spec (outcome : Runner.outcome) =
+let find ?faults t spec =
+  match lookup ?faults t spec with Hit o -> Some o | Miss | Invalid _ -> None
+
+let store ?faults t spec (outcome : Runner.outcome) =
   let entry =
     Json.Obj
       [
@@ -122,12 +146,29 @@ let store t spec (outcome : Runner.outcome) =
         ("outcome", outcome_to_json outcome);
       ]
   in
-  let final = path t spec in
-  let tmp =
-    Printf.sprintf "%s.%d.tmp" final (Unix.getpid ())
+  let content =
+    let full = Json.to_string ~indent:true entry in
+    match faults with
+    | None -> full
+    | Some f -> (
+        match Faults.mangle_write f ~digest:(Spec.digest spec) full with
+        | Some torn -> torn
+        | None -> full)
   in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Json.to_string ~indent:true entry));
-  Sys.rename tmp final
+  let final = path t spec in
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  (* Write-to-temp + atomic rename, and never leave the temp file
+     behind: a writer that raises mid-write (full disk, injected
+     fault, killed worker) must not litter the cache directory. *)
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc content)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp final
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

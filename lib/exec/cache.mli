@@ -27,11 +27,28 @@ val dir : t -> string
 val path : t -> Spec.t -> string
 (** The entry file a spec maps to (whether or not it exists yet). *)
 
-val find : t -> Spec.t -> Pc_adversary.Runner.outcome option
-(** [None] on a miss, a stale format, or a corrupt entry. *)
+type lookup =
+  | Hit of Pc_adversary.Runner.outcome
+  | Miss  (** no entry on disk *)
+  | Invalid of { path : string; reason : string }
+      (** an entry exists but cannot be served: truncated or garbage
+          bytes, a stale format version, a digest collision (key
+          mismatch), or a malformed outcome. The engine counts these
+          as [recovered] and re-executes. *)
 
-val store : t -> Spec.t -> Pc_adversary.Runner.outcome -> unit
-(** Atomic (write-to-temp + rename). *)
+val lookup : ?faults:Faults.t -> t -> Spec.t -> lookup
+(** Distinguishes a plain miss from an invalid entry so silent cache
+    rot becomes visible. [faults] may corrupt the read (chaos mode). *)
+
+val find : ?faults:Faults.t -> t -> Spec.t -> Pc_adversary.Runner.outcome option
+(** [None] on a miss, a stale format, or a corrupt entry
+    ({!lookup} collapsed). *)
+
+val store : ?faults:Faults.t -> t -> Spec.t -> Pc_adversary.Runner.outcome -> unit
+(** Atomic (write-to-temp + rename); a writer that raises mid-write
+    removes its temp file. [faults] may tear the written content —
+    atomically renamed into place, modelling power loss after an
+    unsynced rename — which a later {!lookup} reports as [Invalid]. *)
 
 val outcome_to_json : Pc_adversary.Runner.outcome -> Json.t
 val outcome_of_json : Json.t -> Pc_adversary.Runner.outcome

@@ -1,0 +1,148 @@
+open Pc_adversary
+
+(* Crash-safe sweep journal: one fsynced JSON line per completed job,
+   appended to <dir>/<sweep-digest>.journal as the pool finishes jobs.
+   A killed sweep resumes by reloading the journal and re-executing
+   only the jobs absent from it (and from the result cache).
+
+   The journal is identified by a digest over the ordered spec list,
+   so a resume with a different sweep opens a different file and never
+   replays foreign outcomes. Each line re-states the spec's canonical
+   key, which is checked again on lookup — a digest collision inside a
+   journal is detected, not served.
+
+   Durability: each line is written with a single [write] and fsynced
+   before [record] returns, so a line is either fully present or
+   absent; the loader tolerates (and drops) a truncated final line
+   from a writer killed mid-append. Determinism: outcomes round-trip
+   through the same bit-exact JSON as the result cache, so a resumed
+   sweep's results are byte-identical to an uninterrupted run's. *)
+
+type entry = { key : string; result : (Runner.outcome, string) result }
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutex : Mutex.t;
+  entries : (string, entry) Hashtbl.t; (* digest -> journaled outcome *)
+  loaded : int;
+}
+
+let journal_format = 1
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let default_dir ~cache_dir = Filename.concat cache_dir "sweeps"
+
+let sweep_digest specs =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          (Printf.sprintf "pc-journal-%d" journal_format
+          :: List.map Spec.digest specs)))
+
+let path ~dir specs = Filename.concat dir (sweep_digest specs ^ ".journal")
+
+(* ------------------------------------------------------------------ *)
+(* Line (de)serialisation                                             *)
+
+let line_of_entry ~digest { key; result } =
+  let fields =
+    [ ("digest", Json.String digest); ("key", Json.String key) ]
+    @
+    match result with
+    | Ok o -> [ ("ok", Cache.outcome_to_json o) ]
+    | Error msg -> [ ("error", Json.String msg) ]
+  in
+  Json.to_string (Json.Obj fields) ^ "\n"
+
+let entry_of_line line =
+  match Json.of_string line with
+  | exception _ -> None
+  | j -> (
+      match (Json.member "digest" j, Json.member "key" j) with
+      | Some (Json.String digest), Some (Json.String key) -> (
+          match (Json.member "ok" j, Json.member "error" j) with
+          | Some o, None -> (
+              match Cache.outcome_of_json o with
+              | outcome -> Some (digest, { key; result = Ok outcome })
+              | exception _ -> None)
+          | None, Some (Json.String msg) ->
+              Some (digest, { key; result = Error msg })
+          | _ -> None)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+
+let load_entries path =
+  if not (Sys.file_exists path) then (Hashtbl.create 16, 0)
+  else begin
+    let ic = open_in_bin path in
+    let entries = Hashtbl.create 64 in
+    let loaded = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match entry_of_line line with
+            | Some (digest, entry) ->
+                (* Last write wins; duplicates are harmless (a job
+                   journaled twice across a kill boundary records the
+                   same pure outcome). *)
+                if not (Hashtbl.mem entries digest) then incr loaded;
+                Hashtbl.replace entries digest entry
+            | None ->
+                (* A truncated or garbled line (writer killed
+                   mid-append): drop it; the job re-executes. *)
+                ()
+          done
+        with End_of_file -> ());
+    (entries, !loaded)
+  end
+
+let open_ ?(resume = false) ~dir specs =
+  mkdir_p dir;
+  let path = path ~dir specs in
+  let entries, loaded =
+    if resume then load_entries path else (Hashtbl.create 64, 0)
+  in
+  let flags =
+    if resume then Unix.[ O_WRONLY; O_APPEND; O_CREAT ]
+    else Unix.[ O_WRONLY; O_TRUNC; O_CREAT ]
+  in
+  let fd = Unix.openfile path flags 0o644 in
+  { path; fd; mutex = Mutex.create (); entries; loaded }
+
+let path_of t = t.path
+let loaded t = t.loaded
+
+let find t spec =
+  match Hashtbl.find_opt t.entries (Spec.digest spec) with
+  | Some { key; result } when key = Spec.key spec -> Some result
+  | Some _ (* digest collision inside the journal *) | None -> None
+
+let write_fully fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let record t spec result =
+  let digest = Spec.digest spec in
+  let line = line_of_entry ~digest { key = Spec.key spec; result } in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      write_fully t.fd (Bytes.of_string line);
+      Unix.fsync t.fd;
+      Hashtbl.replace t.entries digest { key = Spec.key spec; result })
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,14 +1,27 @@
 open Pc_adversary
 
-(* The sweep engine: resolve a list of job specs against the result
-   cache, execute the misses on a Domain worker pool with per-job
-   exception capture, store fresh outcomes back, and report a summary.
+(* The sweep engine: resolve a list of job specs against the
+   checkpoint journal and the result cache, execute the misses on a
+   Domain worker pool with per-job exception capture, retry and
+   per-job timeouts, store fresh outcomes back, and report a summary.
 
    Determinism: every job rebuilds its program, manager, heap and
    budget from the spec alone, and all randomness in the workloads is
    seeded — so the outcome of a spec is a pure function of the spec,
-   independent of worker count and scheduling. [run ~jobs:4] is
-   bit-identical to [run ~jobs:1]. *)
+   independent of worker count, scheduling, retries and resume point.
+   [run ~jobs:4] is bit-identical to [run ~jobs:1], and a killed sweep
+   resumed from its journal is bit-identical to an uninterrupted one.
+
+   Failure taxonomy (see DESIGN.md):
+   - transient: an injected worker crash ([Faults.Worker_crash]) or a
+     wall-clock timeout. Retried with exponential backoff and seeded
+     deterministic jitter, up to [retries] times.
+   - deterministic: any other exception that the job reproduces on an
+     immediate probe re-run. Degrades to [Error] without burning the
+     transient-retry budget — a poisoned spec never stalls the pool.
+   - fatal: [Faults.Sweep_killed] (the simulated process kill) is
+     never caught; it escapes [run] so crash-recovery tests exercise
+     the same path a real SIGKILL would. *)
 
 let src = Logs.Src.create "pc.exec" ~doc:"parallel sweep engine"
 
@@ -18,6 +31,8 @@ type job_result = {
   spec : Spec.t;
   result : (Runner.outcome, string) result;
   from_cache : bool;
+  from_journal : bool;
+  attempts : int;
   elapsed : float;
 }
 
@@ -25,66 +40,201 @@ type summary = {
   total : int;
   executed : int;
   cached : int;
+  resumed : int;
+  recovered : int;
+  retried : int;
   failed : int;
   wall : float;
 }
 
-let execute spec =
-  let t0 = Unix.gettimeofday () in
-  let result =
-    match
-      let program = Spec.build spec in
-      let manager = Spec.manager spec in
-      Runner.run ?c:spec.Spec.c ~program ~manager ()
-    with
-    | outcome -> Ok outcome
-    | exception e ->
-        (* One diverging or invalid point must not kill the sweep. *)
-        Error (Printexc.to_string e)
-  in
-  { spec; result; from_cache = false; elapsed = Unix.gettimeofday () -. t0 }
+(* ------------------------------------------------------------------ *)
+(* One job, with retries                                              *)
 
-let run ?(jobs = 1) ?cache specs =
+let run_once ?faults spec ~digest ~attempt =
+  match
+    (match faults with
+    | Some f -> Faults.pre_job f ~digest ~attempt
+    | None -> ());
+    let program = Spec.build spec in
+    let manager = Spec.manager spec in
+    Runner.run ?c:spec.Spec.c ~program ~manager ()
+  with
+  | outcome -> Ok outcome
+  | exception (Faults.Sweep_killed _ as e) ->
+      (* Never classified: the simulated process kill. *)
+      raise e
+  | exception e -> Error e
+
+(* Exponential backoff with seeded deterministic jitter: the sleep for
+   retry [k] of a job is a pure function of (seed, digest, k). *)
+let backoff_sleep ~seed ~digest ~backoff k =
+  if backoff > 0. then begin
+    let jitter = Faults.hash01 ~seed ~site:"backoff" ~digest k in
+    Unix.sleepf (backoff *. (2. ** float_of_int k) *. (1. +. jitter))
+  end
+
+let execute_with_retries ?faults ?(retries = 0) ?timeout ?(backoff = 0.1) spec =
+  let digest = Spec.digest spec in
+  let seed = match faults with Some f -> Faults.seed f | None -> 0 in
+  let t0 = Unix.gettimeofday () in
+  (* [attempt] numbers every execution; [transients] counts the
+     transient failures burned so far (capped by [retries]);
+     [probed] is set once a generic exception has been re-run. *)
+  let rec go ~attempt ~transients ~probed =
+    let a0 = Unix.gettimeofday () in
+    let result = run_once ?faults spec ~digest ~attempt in
+    let attempt_elapsed = Unix.gettimeofday () -. a0 in
+    let timed_out =
+      match timeout with Some limit -> attempt_elapsed > limit | None -> false
+    in
+    let retry_transient reason =
+      if transients < retries then begin
+        Log.info (fun k ->
+            k "job %s: transient failure (%s) on attempt %d; retrying" digest
+              reason attempt);
+        backoff_sleep ~seed ~digest ~backoff transients;
+        go ~attempt:(attempt + 1) ~transients:(transients + 1) ~probed
+      end
+      else
+        ( Error
+            (Printf.sprintf "unrecovered transient failure (%s) after %d attempts"
+               reason (attempt + 1)),
+          attempt + 1 )
+    in
+    match result with
+    | Ok _ when timed_out ->
+        (* The attempt finished but blew its wall-clock budget: treat
+           the outcome as lost (a real supervisor would have killed
+           the worker) and retry. Timeouts are detected post-hoc — a
+           pure simulation cannot be preempted mid-computation. *)
+        retry_transient (Printf.sprintf "timeout: %.3fs > %.3fs" attempt_elapsed
+                           (Option.get timeout))
+    | Ok outcome -> (Ok outcome, attempt + 1)
+    | Error (Faults.Worker_crash _) -> retry_transient "worker crash"
+    | Error e ->
+        if timed_out then
+          retry_transient
+            (Printf.sprintf "timeout: %.3fs > %.3fs" attempt_elapsed
+               (Option.get timeout))
+        else if not probed then begin
+          (* First sighting of a generic exception: probe once,
+             immediately. If the job reproduces it, it is
+             deterministic; if not, it was environmental. *)
+          Log.debug (fun k ->
+              k "job %s: %s on attempt %d; probing for reproducibility" digest
+                (Printexc.to_string e) attempt);
+          go ~attempt:(attempt + 1) ~transients ~probed:true
+        end
+        else (Error (Printexc.to_string e), attempt + 1)
+  in
+  let result, attempts = go ~attempt:0 ~transients:0 ~probed:false in
+  {
+    spec;
+    result;
+    from_cache = false;
+    from_journal = false;
+    attempts;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let execute spec = execute_with_retries spec
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                          *)
+
+let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
+    =
   let t0 = Unix.gettimeofday () in
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let results : job_result option array = Array.make n None in
-  (* Serve what we can from the cache (cheap, sequential). *)
+  let recovered = Atomic.make 0 in
+  let retried = Atomic.make 0 in
+  (* 1. Replay journaled outcomes (resume). *)
+  (match checkpoint with
+  | None -> ()
+  | Some journal ->
+      Array.iteri
+        (fun i spec ->
+          match Checkpoint.find journal spec with
+          | Some result ->
+              results.(i) <-
+                Some
+                  {
+                    spec;
+                    result;
+                    from_cache = false;
+                    from_journal = true;
+                    attempts = 0;
+                    elapsed = 0.;
+                  }
+          | None -> ())
+        specs);
+  (* 2. Serve what we can from the cache (cheap, sequential). An
+     invalid entry — truncated, garbage, stale format, digest
+     collision — is surfaced (counted and logged once), then
+     re-executed and self-healed by the store below. *)
   (match cache with
   | None -> ()
   | Some cache ->
       Array.iteri
         (fun i spec ->
-          match Cache.find cache spec with
-          | Some outcome ->
-              results.(i) <-
-                Some
-                  { spec; result = Ok outcome; from_cache = true; elapsed = 0. }
-          | None -> ())
+          if results.(i) = None then
+            match Cache.lookup ?faults cache spec with
+            | Cache.Hit outcome ->
+                results.(i) <-
+                  Some
+                    {
+                      spec;
+                      result = Ok outcome;
+                      from_cache = true;
+                      from_journal = false;
+                      attempts = 0;
+                      elapsed = 0.;
+                    }
+            | Cache.Miss -> ()
+            | Cache.Invalid { path; reason } ->
+                Atomic.incr recovered;
+                Log.warn (fun k ->
+                    k "cache: invalid entry %s (%s); re-executing" path reason))
         specs);
-  (* Execute the misses on the pool. *)
+  (* 3. Execute the misses on the pool. Each job journals and caches
+     its own outcome as it completes, so a kill at any point loses at
+     most the in-flight jobs. *)
   let misses =
     Array.of_seq
-      (Seq.filter
-         (fun i -> results.(i) = None)
-         (Seq.init n (fun i -> i)))
+      (Seq.filter (fun i -> results.(i) = None) (Seq.init n (fun i -> i)))
+  in
+  let journaled =
+    Array.fold_left
+      (fun acc -> function Some r when r.from_journal -> acc + 1 | _ -> acc)
+      0 results
   in
   Log.info (fun k ->
-      k "sweep: %d points, %d cached, %d to execute on %d worker(s)" n
-        (n - Array.length misses)
+      k "sweep: %d points, %d journaled, %d cached, %d to execute on %d \
+         worker(s)"
+        n journaled
+        (n - Array.length misses - journaled)
         (Array.length misses) (max 1 jobs));
-  let executed = Pool.map_array ~jobs (fun i -> execute specs.(i)) misses in
+  let exec_one i =
+    let r =
+      execute_with_retries ?faults ?retries ?timeout ?backoff specs.(i)
+    in
+    if r.attempts > 1 then
+      ignore (Atomic.fetch_and_add retried (r.attempts - 1));
+    (* Durability order matters: journal first (fsynced — survives a
+       kill), then cache, then the fault layer's kill point. *)
+    (match checkpoint with
+    | Some journal -> Checkpoint.record journal r.spec r.result
+    | None -> ());
+    (match (cache, r.result) with
+    | Some cache, Ok outcome -> Cache.store ?faults cache r.spec outcome
+    | _ -> ());
+    (match faults with Some f -> Faults.job_completed f | None -> ());
+    r
+  in
+  let executed = Pool.map_array ~jobs exec_one misses in
   Array.iteri (fun k i -> results.(i) <- Some executed.(k)) misses;
-  (* Persist fresh successes. *)
-  (match cache with
-  | None -> ()
-  | Some cache ->
-      Array.iter
-        (fun (r : job_result) ->
-          match r.result with
-          | Ok outcome -> Cache.store cache r.spec outcome
-          | Error _ -> ())
-        executed);
   let results =
     Array.to_list
       (Array.map
@@ -98,7 +248,10 @@ let run ?(jobs = 1) ?cache specs =
     {
       total = n;
       executed = Array.length misses;
-      cached = n - Array.length misses;
+      cached = count (fun r -> r.from_cache);
+      resumed = count (fun r -> r.from_journal);
+      recovered = Atomic.get recovered;
+      retried = Atomic.get retried;
       failed = count (fun r -> Result.is_error r.result);
       wall = Unix.gettimeofday () -. t0;
     }
@@ -113,4 +266,10 @@ let outcome_exn r =
 let pp_summary ppf s =
   Fmt.pf ppf "%d point%s: %d executed, %d cached, %d failed in %.2fs" s.total
     (if s.total = 1 then "" else "s")
-    s.executed s.cached s.failed s.wall
+    s.executed s.cached s.failed s.wall;
+  if s.resumed > 0 then Fmt.pf ppf " (%d resumed from journal)" s.resumed;
+  if s.recovered > 0 then
+    Fmt.pf ppf " (%d invalid cache entr%s recovered)" s.recovered
+      (if s.recovered = 1 then "y" else "ies");
+  if s.retried > 0 then
+    Fmt.pf ppf " (%d retr%s)" s.retried (if s.retried = 1 then "y" else "ies")

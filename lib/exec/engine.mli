@@ -1,13 +1,27 @@
-(** The parallel sweep engine.
+(** The fault-tolerant parallel sweep engine.
 
-    [run] resolves each spec against the result cache, executes the
-    misses on a fixed-size [Domain] worker pool (see {!Pool}) with
-    per-job exception capture, stores fresh outcomes back into the
-    cache, and returns per-job results in input order plus a summary.
+    [run] resolves each spec against the checkpoint journal (resume)
+    and the result cache, executes the misses on a fixed-size [Domain]
+    worker pool (see {!Pool}) with per-job exception capture, retries
+    and wall-clock timeouts, stores fresh outcomes back into the cache
+    and journal as each job completes, and returns per-job results in
+    input order plus a summary.
 
     Outcomes are a pure function of the spec — workload randomness is
     seeded, and every job gets a fresh heap, budget and manager — so
-    [run ~jobs:k] is bit-identical to [run ~jobs:1] for any [k]. *)
+    [run ~jobs:k] is bit-identical to [run ~jobs:1] for any [k], and a
+    sweep killed mid-run and resumed from its journal is bit-identical
+    to an uninterrupted one.
+
+    Failure taxonomy (DESIGN.md §failure-taxonomy):
+    - {e transient} — an injected worker crash or a wall-clock
+      timeout: retried up to [retries] times with exponential backoff
+      and seeded deterministic jitter.
+    - {e deterministic} — any other exception the job reproduces on an
+      immediate probe re-run: degrades to [Error] without burning the
+      transient budget, so a poisoned spec never stalls the pool.
+    - {e fatal} — {!Faults.Sweep_killed} (the simulated process kill)
+      escapes [run]; resume from the journal afterwards. *)
 
 type job_result = {
   spec : Spec.t;
@@ -15,13 +29,22 @@ type job_result = {
       (** [Error] carries the captured exception text; one diverging
           job never kills the sweep. *)
   from_cache : bool;
-  elapsed : float;  (** seconds spent executing; [0.] for cache hits *)
+  from_journal : bool;  (** replayed from the checkpoint journal *)
+  attempts : int;
+      (** execution attempts this run; [0] for cache/journal hits *)
+  elapsed : float;  (** seconds spent executing; [0.] for hits *)
 }
 
 type summary = {
   total : int;
   executed : int;
   cached : int;
+  resumed : int;  (** jobs replayed from the checkpoint journal *)
+  recovered : int;
+      (** invalid (truncated, garbage, stale-format, digest-collision)
+          cache entries that were detected, logged and re-executed —
+          silent cache rot made visible *)
+  retried : int;  (** extra execution attempts across all jobs *)
   failed : int;
   wall : float;  (** wall-clock seconds for the whole sweep *)
 }
@@ -29,14 +52,35 @@ type summary = {
 val run :
   ?jobs:int ->
   ?cache:Cache.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?retries:int ->
+  ?timeout:float ->
+  ?backoff:float ->
+  ?faults:Faults.t ->
   Spec.t list ->
   job_result list * summary
 (** [jobs] (default 1) caps the worker-domain count; [jobs <= 1] runs
-    inline on the calling domain. Omitting [cache] disables caching
-    entirely. Results come back in input order. *)
+    inline on the calling domain. Omitting [cache] disables caching;
+    omitting [checkpoint] disables journaling. [retries] (default 0)
+    bounds transient-failure re-attempts per job; [timeout] is the
+    per-attempt wall-clock budget in seconds (checked post-hoc — a
+    pure simulation cannot be preempted); [backoff] (default 0.1)
+    seeds the exponential backoff base in seconds. [faults] injects
+    seeded chaos at job and cache boundaries (see {!Faults}). Results
+    come back in input order. *)
 
 val execute : Spec.t -> job_result
-(** Run one spec on the calling domain, bypassing the cache. *)
+(** Run one spec on the calling domain, bypassing cache, journal and
+    retries. *)
+
+val execute_with_retries :
+  ?faults:Faults.t ->
+  ?retries:int ->
+  ?timeout:float ->
+  ?backoff:float ->
+  Spec.t ->
+  job_result
+(** The per-job attempt loop [run] uses, exposed for tests. *)
 
 val outcome_exn : job_result -> Pc_adversary.Runner.outcome
 (** Raises [Failure] with the captured error text on a failed job. *)

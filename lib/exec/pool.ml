@@ -87,7 +87,14 @@ let shutdown t =
 
 (* Run [f] on every element of [items] using [jobs] workers and return
    the results in order. [jobs <= 1] runs inline on the calling domain
-   — bit-for-bit the same results, no domains spawned. *)
+   — bit-for-bit the same results, no domains spawned.
+
+   A raising [f] no longer vanishes into the worker's swallow-all:
+   each task captures its own exception and [map_array] re-raises the
+   first one (in submission order) after the pool has settled and been
+   torn down — so a fault-injected kill escapes to the caller while
+   every already-finished job's side effects (cache store, journal
+   line) remain intact. *)
 let map_array ~jobs f items =
   let n = Array.length items in
   if n = 0 then [||]
@@ -96,16 +103,27 @@ let map_array ~jobs f items =
     let results = Array.make n None in
     let pool = create ~workers:(min jobs n) in
     Array.iteri
-      (fun i item -> submit pool (fun () -> results.(i) <- Some (f item)))
+      (fun i item ->
+        submit pool (fun () ->
+            results.(i) <-
+              Some
+                (match f item with
+                | r -> Ok r
+                | exception e -> Error (e, Printexc.get_raw_backtrace ()))))
       items;
     wait pool;
     shutdown pool;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
     Array.map
       (function
-        | Some r -> r
-        | None ->
-            (* Unreachable: every task stores before finishing, and
-               [f] never raises by contract (the engine wraps jobs). *)
+        | Some (Ok r) -> r
+        | Some (Error _) | None ->
+            (* Unreachable: every task stores before finishing and
+               failures re-raised above. *)
             failwith "Pool.map_array: missing result")
       results
   end

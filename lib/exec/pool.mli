@@ -23,5 +23,7 @@ val shutdown : t -> unit
 val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array ~jobs f items] applies [f] to every element on a
     transient pool of [min jobs (length items)] workers, preserving
-    order. [jobs <= 1] runs inline on the calling domain. [f] must not
-    raise. *)
+    order. [jobs <= 1] runs inline on the calling domain. If [f]
+    raises, the first exception (in submission order) is re-raised
+    after all tasks have settled and the pool is torn down; completed
+    tasks' side effects are preserved. *)

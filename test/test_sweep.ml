@@ -107,6 +107,77 @@ let test_cache_ignores_corrupt_entries () =
   Alcotest.(check int) "re-executed over corrupt entry" 1 s.executed;
   Alcotest.(check bool) "entry repaired" true (Cache.find cache spec <> None)
 
+(* Every way an entry can rot — truncation, garbage bytes, a stale
+   format version, a digest collision — must surface as a counted
+   [Invalid] (never a silent miss, never a wrong hit), re-execute, and
+   self-heal the entry on disk. *)
+let test_cache_invalid_entry_taxonomy () =
+  let spec = Spec.robson ~manager:"first-fit" ~m:256 ~n:16 () in
+  let other = Spec.robson ~manager:"buddy" ~m:256 ~n:16 () in
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let write path content =
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc
+  in
+  let fixtures =
+    [
+      ("truncated", fun path -> write path (String.sub (read path) 0 (String.length (read path) / 2)));
+      ("garbage", fun path -> write path "\x00\xffnot even close to json");
+      ( "wrong format version",
+        fun path ->
+          (* Valid JSON, wrong version: must not be served. *)
+          let entry = Json.of_string (read path) in
+          let bumped =
+            match entry with
+            | Json.Obj fields ->
+                Json.Obj
+                  (List.map
+                     (function
+                       | "format", _ -> ("format", Json.Int 999)
+                       | f -> f)
+                     fields)
+            | j -> j
+          in
+          write path (Json.to_string bumped) );
+      ( "digest collision",
+        fun path ->
+          (* A well-formed entry for a *different* spec sitting at
+             this spec's path: the key check must reject it. *)
+          let cache' = Cache.create ~dir:(fresh_dir ()) () in
+          let r = Engine.execute other in
+          Cache.store cache' other (Result.get_ok r.result);
+          write path (read (Cache.path cache' other)) );
+    ]
+  in
+  List.iter
+    (fun (name, mangle) ->
+      let cache = Cache.create ~dir:(fresh_dir ()) () in
+      (* Prime a valid entry, then rot it. *)
+      let _, s0 = Engine.run ~cache [ spec ] in
+      Alcotest.(check int) (name ^ ": primed") 1 s0.executed;
+      mangle (Cache.path cache spec);
+      (match Cache.lookup cache spec with
+      | Cache.Invalid _ -> ()
+      | Cache.Hit _ -> Alcotest.failf "%s: rotten entry served as a hit" name
+      | Cache.Miss -> Alcotest.failf "%s: rotten entry was a silent miss" name);
+      let r1, s1 = Engine.run ~cache [ spec ] in
+      Alcotest.(check int) (name ^ ": counted as recovered") 1 s1.recovered;
+      Alcotest.(check int) (name ^ ": re-executed") 1 s1.executed;
+      Alcotest.(check bool)
+        (name ^ ": outcome ok") true
+        (Result.is_ok (List.hd r1).result);
+      (* Self-healed: the next run is a clean hit. *)
+      let _, s2 = Engine.run ~cache [ spec ] in
+      Alcotest.(check int) (name ^ ": healed entry hits") 1 s2.cached;
+      Alcotest.(check int) (name ^ ": nothing left to recover") 0 s2.recovered)
+    fixtures
+
 let test_pool_map_order () =
   let items = Array.init 100 (fun i -> i) in
   let doubled = Pool.map_array ~jobs:4 (fun i -> 2 * i) items in
@@ -129,6 +200,8 @@ let () =
           Alcotest.test_case "round trip" `Quick test_cache_round_trip;
           Alcotest.test_case "corrupt entry = miss" `Quick
             test_cache_ignores_corrupt_entries;
+          Alcotest.test_case "invalid-entry taxonomy heals" `Quick
+            test_cache_invalid_entry_taxonomy;
         ] );
       ( "robustness",
         [
