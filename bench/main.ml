@@ -61,12 +61,19 @@ type opts = {
   retries : int;
   timeout : float option;
   faults : Pc.Exec.Faults.t option;  (* chaos mode *)
+  audit : Pc.Audit.Oracle.level;  (* runtime oracles on every point *)
+  failures_dir : string option;  (* where repro bundles land *)
 }
 
 (* Under --inject-faults any point left failed means the fault layer
    beat the recovery machinery: report it through the exit code so CI
    can assert zero unrecovered failures. *)
 let unrecovered = ref false
+
+(* Under --audit any triaged oracle violation flips the exit code to
+   the shared taxonomy's code 3; the bundle paths ride on the sweep
+   summaries. *)
+let violated = ref false
 
 (* Machine-readable report accumulators (--json). *)
 let sweep_records : Json.t list ref = ref []
@@ -84,6 +91,7 @@ let record_sweep name (s : Engine.summary) =
         ("recovered", Json.Int s.recovered);
         ("retried", Json.Int s.retried);
         ("failed", Json.Int s.failed);
+        ("violations", Json.Int s.violations);
         ("wall_s", Json.Float s.wall);
       ]
     :: !sweep_records
@@ -107,10 +115,11 @@ let run_sweep opts name specs =
       (fun () ->
         Engine.run ~jobs:opts.jobs ?cache:opts.cache ~checkpoint
           ~retries:opts.retries ?timeout:opts.timeout ?faults:opts.faults
-          specs)
+          ~audit:opts.audit ?failures_dir:opts.failures_dir specs)
   in
   line "    [%s: %a]" name Engine.pp_summary summary;
   if opts.faults <> None && summary.failed > 0 then unrecovered := true;
+  if summary.violations > 0 then violated := true;
   record_sweep name summary;
   let tbl = Hashtbl.create (2 * List.length specs) in
   List.iter
@@ -415,6 +424,12 @@ let tests () =
       (Staged.stage (fun () ->
            Pc.run_pf ~backend:Pc.Backend.Reference ~m:(1 lsl 13) ~n:(1 lsl 6)
              ~manager:"compacting" ~c:16.0 ()));
+    (* Same point under the sampled oracle layer: the measured --audit
+       overhead (see EXPERIMENTS.md). *)
+    Test.make ~name:"sim-lower-point-c16-audit"
+      (Staged.stage (fun () ->
+           Pc.run_pf ~audit:Pc.Audit.Oracle.Sampled ~m:(1 lsl 13) ~n:(1 lsl 6)
+             ~manager:"compacting" ~c:16.0 ()));
     Test.make ~name:"sim-upper-robson"
       (Staged.stage (fun () ->
            Pc.run_robson ~m:(1 lsl 12) ~n:(1 lsl 6) ~manager:"first-fit" ()));
@@ -538,7 +553,7 @@ let write_json opts =
 
 (* ------------------------------------------------------------------ *)
 
-let () =
+let main () =
   (* Simulations churn short-lived lists and closures; the 256k-word
      default minor heap forces constant promotion at these rates. One
      harness-wide bump (both backends alike) keeps the measurements
@@ -580,6 +595,11 @@ let () =
           | Error msg -> Fmt.invalid_arg "bad --inject-faults spec: %s" msg
         in
         parse { opts with faults = Some faults } no_cache cache_dir rest
+    | "--audit" :: v :: rest ->
+        let audit = Pc.Audit.Oracle.level_of_string_exn v in
+        parse { opts with audit } no_cache cache_dir rest
+    | "--failures-dir" :: d :: rest ->
+        parse { opts with failures_dir = Some d } no_cache cache_dir rest
     | "--json" :: p :: rest ->
         parse { opts with json_path = Some p } no_cache cache_dir rest
     | "--small" :: rest -> parse { opts with small = true } no_cache cache_dir rest
@@ -602,6 +622,8 @@ let () =
         retries = 2;
         timeout = None;
         faults = None;
+        audit = Pc.Audit.Oracle.Off;
+        failures_dir = None;
       }
       false None
       (List.tl (Array.to_list Sys.argv))
@@ -628,8 +650,32 @@ let () =
   if (not opts.no_timing) && (opts.selected = [] || wants "timings") then
     timings ();
   write_json opts;
+  if !violated then begin
+    line "";
+    line "FAIL: oracle violations were triaged (bundle paths in the \
+          summaries above)";
+    exit Pc.Audit.Report.exit_violation
+  end;
   if !unrecovered then begin
     line "";
     line "FAIL: injected faults left unrecovered failures (see summaries)";
     exit 1
   end
+
+(* Exit-code taxonomy shared with the pc CLI: 2 usage, 3 oracle
+   violation, 4 internal. *)
+let () =
+  match main () with
+  | () -> ()
+  | exception Pc.Audit.Report.Reported b ->
+      Fmt.epr "%a@." Pc.Audit.Report.pp_bundle b;
+      exit Pc.Audit.Report.exit_violation
+  | exception Pc.Audit.Oracle.Violation v ->
+      Fmt.epr "%a@." Pc.Audit.Oracle.pp_violation v;
+      exit Pc.Audit.Report.exit_violation
+  | exception Invalid_argument msg ->
+      Fmt.epr "bench: %s@." msg;
+      exit Pc.Audit.Report.exit_usage
+  | exception e ->
+      Fmt.epr "bench: internal error: %s@." (Printexc.to_string e);
+      exit Pc.Audit.Report.exit_internal

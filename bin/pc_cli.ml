@@ -70,6 +70,61 @@ let backend_arg =
            $(b,reference) (the persistent oracle). Also settable via \
            $(b,PC_HEAP_BACKEND).")
 
+let audit_arg =
+  let level_conv =
+    Arg.conv (Pc.Audit.Oracle.level_of_string, Pc.Audit.Oracle.pp_level)
+  in
+  Arg.(
+    value
+    & opt level_conv Pc.Audit.Oracle.Off
+    & info [ "audit" ] ~docv:"LEVEL"
+        ~doc:
+          "Runtime oracle level: $(b,off), $(b,sampled) (budget and \
+           live-space rules every event, the O(live) structural sweep one \
+           event in --audit-every), $(b,full) (structural sweep every event \
+           plus PF's Claim 4.16 potential audit), or $(b,differential) \
+           (sampled, plus a shadow heap on the opposite substrate mirroring \
+           every event — fails at the first diverging event). On a \
+           violation the recorded trace is delta-debugged into a repro \
+           bundle and the exit code is 3.")
+
+let audit_every_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "audit-every" ] ~docv:"N"
+        ~doc:"Structural-sweep sampling period for --audit sampled and \
+              differential.")
+
+let failures_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failures-dir" ] ~docv:"DIR"
+        ~doc:
+          "Where repro bundles are written (default: $(b,PC_FAILURES_DIR) \
+           or $(b,_pc_failures)).")
+
+(* The exit-code taxonomy shared with bench (documented in every
+   subcommand's --help; CI keys off code 3). *)
+let exits =
+  [
+    Cmd.Exit.info Pc.Audit.Report.exit_ok ~doc:"on success.";
+    Cmd.Exit.info Pc.Audit.Report.exit_usage
+      ~doc:
+        "on usage errors: unparseable command lines, unknown programs, \
+         managers or audit levels, invalid parameters, unreadable repro \
+         bundles.";
+    Cmd.Exit.info Pc.Audit.Report.exit_violation
+      ~doc:
+        "on an oracle violation (c-partial budget, live-space bound, \
+         structural invariant, backend divergence, theory floor, PF \
+         potential): a repro bundle has been emitted, its path printed. \
+         $(b,pc replay) exits with this code when the bundle's violation \
+         reproduces.";
+    Cmd.Exit.info Pc.Audit.Report.exit_internal
+      ~doc:"on internal errors (unexpected exceptions).";
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* pc bounds                                                          *)
 
@@ -99,7 +154,7 @@ let bounds_cmd =
         (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c)
   in
   Cmd.v
-    (Cmd.info "bounds" ~doc:"Print the closed-form bounds for M, n, c.")
+    (Cmd.info "bounds" ~exits ~doc:"Print the closed-form bounds for M, n, c.")
     Term.(const run $ m_arg $ n_arg $ c_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -140,7 +195,7 @@ let figure_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"FIGURE")
   in
   Cmd.v
-    (Cmd.info "figure"
+    (Cmd.info "figure" ~exits
        ~doc:"Print a paper figure's series as CSV (figures 1, 2, 3).")
     Term.(const run $ which)
 
@@ -148,19 +203,36 @@ let figure_cmd =
 (* pc simulate                                                        *)
 
 let simulate_cmd =
-  let run program manager m n c seed backend =
+  let run program manager m n c seed backend audit audit_every broken_budget
+      failures_dir =
     Pc.Backend.set_default backend;
     let mgr = Pc.Managers.construct_exn manager in
+    (* --broken-budget models a manager whose compaction-budget debit
+       is broken: the enforced budget is lifted while the oracle keeps
+       auditing the declared c — the audit drill in CI. *)
+    let budgeted ?theory_h prog =
+      if broken_budget then
+        Pc.Runner.run ~audit_c:c ~audit ~audit_every ?theory_h ?failures_dir
+          ~program:prog ~manager:mgr ()
+      else
+        Pc.Runner.run ~c ~audit ~audit_every ?theory_h ?failures_dir
+          ~program:prog ~manager:mgr ()
+    in
+    let unbudgeted prog =
+      Pc.Runner.run ~audit ~audit_every ?failures_dir ~program:prog
+        ~manager:mgr ()
+    in
     match program with
     | "pf" ->
-        let cfg, prog = Pc.Pf.program ~m ~n ~c () in
-        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        let pf_audit = audit = Pc.Audit.Oracle.Full in
+        let cfg, prog = Pc.Pf.program ~audit:pf_audit ~m ~n ~c () in
+        let o = budgeted ~theory_h:cfg.h prog in
         Fmt.pr "%a@." Pc.Runner.pp_outcome o;
         Fmt.pr "theory: h=%.3f (l=%d) => HS/M should reach %.3f at scale@."
           cfg.h cfg.ell (Float.max cfg.h 1.0)
     | "robson" ->
         let prog = Pc.Robson_pr.program ~m ~n () in
-        let o = Pc.Runner.run ~program:prog ~manager:mgr () in
+        let o = unbudgeted prog in
         Fmt.pr "%a@." Pc.Runner.pp_outcome o;
         Fmt.pr "theory (non-moving managers): HS/M >= %.3f@."
           (Pc.Bounds.Robson.waste_factor_pow2 ~m ~n)
@@ -170,30 +242,26 @@ let simulate_cmd =
             ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = Pc.Word.log2_floor n })
             ~target_live:(m / 2) ()
         in
-        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        let o = budgeted prog in
         Fmt.pr "%a@." Pc.Runner.pp_outcome o
     | "pw" ->
         let prog = Pc.Pw.program ~m ~n () in
-        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        let o = budgeted prog in
         Fmt.pr "%a@." Pc.Runner.pp_outcome o
     | "sawtooth" ->
         let prog = Pc.Sawtooth.program ~m ~n () in
-        let o = Pc.Runner.run ~c ~program:prog ~manager:mgr () in
+        let o = budgeted prog in
         Fmt.pr "%a@." Pc.Runner.pp_outcome o
-    | p when String.length p > 7 && String.sub p 0 7 = "script:" -> (
+    | p when String.length p > 7 && String.sub p 0 7 = "script:" ->
         (* e.g. --program "script:a x 16; a y 8; f x; a z 4" *)
         let text = String.sub p 7 (String.length p - 7) in
-        match Pc.Script.parse text with
-        | actions ->
-            let prog = Pc.Script.program actions in
-            let o = Pc.Runner.run ~program:prog ~manager:mgr () in
-            Fmt.pr "%a@." Pc.Runner.pp_outcome o
-        | exception Pc.Script.Bad_script msg ->
-            Fmt.epr "bad script: %s@." msg)
+        let prog = Pc.Script.program (Pc.Script.parse text) in
+        let o = unbudgeted prog in
+        Fmt.pr "%a@." Pc.Runner.pp_outcome o
     | p ->
-        Fmt.epr
+        Fmt.invalid_arg
           "unknown program %s (expected pf, robson, pw, sawtooth, random, \
-           script:...)@."
+           script:...)"
           p
   in
   let program_arg =
@@ -220,12 +288,24 @@ let simulate_cmd =
   let c_small =
     Arg.(value & opt float 8.0 & info [ "c" ] ~docv:"C" ~doc:"Compaction bound.")
   in
+  let broken_budget_arg =
+    Arg.(
+      value & flag
+      & info [ "broken-budget" ]
+          ~doc:
+            "Audit drill: run with the enforced compaction budget lifted \
+             while the oracle still audits the declared $(b,c) — models a \
+             manager whose budget debit is broken. With --audit on, the \
+             first over-budget move trips the budget oracle, emits a \
+             minimized repro bundle and exits with code 3.")
+  in
   Cmd.v
-    (Cmd.info "simulate"
+    (Cmd.info "simulate" ~exits
        ~doc:"Run an adversary or random workload against a manager.")
     Term.(
       const run $ program_arg $ manager_arg $ m_small $ n_small $ c_small
-      $ seed_arg $ backend_arg)
+      $ seed_arg $ backend_arg $ audit_arg $ audit_every_arg
+      $ broken_budget_arg $ failures_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc diagram                                                         *)
@@ -261,7 +341,7 @@ let diagram_cmd =
       & info [ "n" ] ~docv:"WORDS" ~doc:"Largest object size n (power of two).")
   in
   Cmd.v
-    (Cmd.info "diagram"
+    (Cmd.info "diagram" ~exits
        ~doc:"Render the heap Robson's adversary leaves behind, as ASCII.")
     Term.(const run $ m_small $ n_small $ manager_arg)
 
@@ -317,7 +397,7 @@ let trace_cmd =
       & info [ "stats" ] ~doc:"Print aggregate statistics instead of events.")
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "trace" ~exits
        ~doc:
          "Dump a replayable heap event trace (or its statistics) of a \
           workload against a manager.")
@@ -330,7 +410,7 @@ let trace_cmd =
 
 let sweep_cmd =
   let run manager m n cs jobs no_cache cache_dir resume retries timeout
-      inject_faults =
+      inject_faults audit failures_dir =
     (* Each (c, manager) point is a deterministic job spec: points run
        on the engine's Domain pool, completed points are served from
        the on-disk result cache on re-runs, and every outcome is
@@ -369,7 +449,8 @@ let sweep_cmd =
       Fun.protect
         ~finally:(fun () -> Checkpoint.close checkpoint)
         (fun () ->
-          Engine.run ~jobs ?cache ~checkpoint ~retries ?timeout ?faults specs)
+          Engine.run ~jobs ?cache ~checkpoint ~retries ?timeout ?faults ~audit
+            ?failures_dir specs)
     in
     Fmt.pr "%6s %4s %10s %10s %8s %10s %7s@." "c" "l" "theory h" "HS/M"
       "moved" "compliant" "source";
@@ -386,6 +467,7 @@ let sweep_cmd =
                else "run"))
       cs results;
     Fmt.pr "%a@." Engine.pp_summary summary;
+    if summary.violations > 0 then exit Pc.Audit.Report.exit_violation;
     if faults <> None && summary.failed > 0 then exit 1
   in
   let jobs_arg =
@@ -462,7 +544,7 @@ let sweep_cmd =
       & info [ "cs" ] ~docv:"C,C,..." ~doc:"Compaction bounds to sweep.")
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "sweep" ~exits
        ~doc:
          "Sweep PF over compaction bounds against one manager (Table S1), \
           in parallel, with result caching, checkpoint/resume and optional \
@@ -470,7 +552,50 @@ let sweep_cmd =
     Term.(
       const run $ manager_arg $ m_small $ n_small $ cs_arg $ jobs_arg
       $ no_cache_arg $ cache_dir_arg $ resume_arg $ retries_arg $ timeout_arg
-      $ inject_faults_arg)
+      $ inject_faults_arg $ audit_arg $ failures_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc replay                                                          *)
+
+let replay_cmd =
+  let run bundle backend =
+    match Pc.Audit.Report.replay ?backend bundle with
+    | Error msg ->
+        Fmt.epr "cannot replay %s: %s@." bundle msg;
+        exit Pc.Audit.Report.exit_usage
+    | Ok (Some v) ->
+        Fmt.pr "%a@." Pc.Audit.Oracle.pp_violation v;
+        Fmt.pr "violation reproduced from %s@." bundle;
+        exit Pc.Audit.Report.exit_violation
+    | Ok None -> Fmt.pr "violation did not reproduce from %s@." bundle
+  in
+  let bundle_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE"
+          ~doc:
+            "A repro-bundle directory emitted on an oracle violation \
+             (e.g. $(b,_pc_failures/budget-0123456789ab)).")
+  in
+  let backend_opt =
+    let backend_conv = Arg.conv (Pc.Backend.of_string, Pc.Backend.pp) in
+    Arg.(
+      value
+      & opt (some backend_conv) None
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Override the heap substrate recorded in the bundle — replay a \
+             failure captured on $(b,imperative) against $(b,reference) to \
+             tell substrate bugs from genuine manager misbehaviour.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~exits
+       ~doc:
+         "Replay a repro bundle's minimized trace against its recorded \
+          oracle; exits with code 3 if the violation reproduces, 0 if it no \
+          longer trips.")
+    Term.(const run $ bundle_arg $ backend_opt)
 
 (* ------------------------------------------------------------------ *)
 (* pc managers                                                        *)
@@ -485,7 +610,7 @@ let managers_cmd =
       Pc.Managers.entries
   in
   Cmd.v
-    (Cmd.info "managers" ~doc:"List the available memory managers.")
+    (Cmd.info "managers" ~exits ~doc:"List the available memory managers.")
     Term.(const run $ const ())
 
 let () =
@@ -503,16 +628,48 @@ let () =
     | _ -> Some Logs.Debug);
   let argv = Array.of_list (List.filter (fun a -> a <> "-v") (Array.to_list Sys.argv)) in
   let doc = "bounds and simulators for partial heap compaction (PLDI'13)" in
-  exit
-    (Cmd.eval ~argv
-       (Cmd.group
-          (Cmd.info "pc" ~version:"1.0.0" ~doc)
-          [
-            bounds_cmd;
-            figure_cmd;
-            simulate_cmd;
-            sweep_cmd;
-            trace_cmd;
-            diagram_cmd;
-            managers_cmd;
-          ]))
+  let group =
+    Cmd.group
+      (Cmd.info "pc" ~version:"1.0.0" ~doc ~exits)
+      [
+        bounds_cmd;
+        figure_cmd;
+        simulate_cmd;
+        sweep_cmd;
+        trace_cmd;
+        diagram_cmd;
+        replay_cmd;
+        managers_cmd;
+      ]
+  in
+  (* Exceptions escape Cmdliner (~catch:false) so they can be mapped
+     onto the exit-code taxonomy; Cmdliner's own cli_error (124) is
+     remapped onto the shared usage code. *)
+  let code =
+    try
+      match Cmd.eval ~argv ~catch:false group with
+      | c when c = Cmd.Exit.cli_error -> Pc.Audit.Report.exit_usage
+      | c -> c
+    with
+    | Pc.Audit.Report.Reported b ->
+        Fmt.epr "%a@." Pc.Audit.Report.pp_bundle b;
+        Pc.Audit.Report.exit_violation
+    | Pc.Audit.Oracle.Violation v ->
+        Fmt.epr "%a@." Pc.Audit.Oracle.pp_violation v;
+        Pc.Audit.Report.exit_violation
+    | Pc.Budget.Exceeded { requested; available } ->
+        Fmt.epr "compaction budget exceeded: move of %d requested, %d left@."
+          requested available;
+        Pc.Audit.Report.exit_violation
+    | Pc.Pf.Audit_failure { step; delta_u; floor } ->
+        Fmt.epr "PF potential audit failed at step %d: delta_u=%d < floor %d@."
+          step delta_u floor;
+        Pc.Audit.Report.exit_violation
+    | Invalid_argument msg | Pc.Script.Bad_script msg ->
+        Fmt.epr "pc: %s@." msg;
+        Pc.Audit.Report.exit_usage
+    | e ->
+        Fmt.epr "pc: internal error: %s@." (Printexc.to_string e);
+        Pc.Audit.Report.exit_internal
+  in
+  exit code

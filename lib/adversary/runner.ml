@@ -23,33 +23,136 @@ type outcome = {
   compliant : bool; (* c-partial rule never violated *)
 }
 
-let run ?backend ?c ?(check = false) ?(check_every = 64) ~program ~manager () =
+let run ?backend ?c ?(check = false) ?(check_every = 64)
+    ?(audit = Pc_audit.Oracle.Off) ?(audit_every = 64) ?audit_c ?theory_h
+    ?failures_dir ~program ~manager () =
   if check_every <= 0 then invalid_arg "Runner.run: check_every must be > 0";
-  let budget =
-    match c with Some c -> Budget.create ~c | None -> Budget.unlimited ()
-  in
   let m = Program.live_bound program in
-  let ctx = Ctx.create ?backend ~budget ~live_bound:m () in
-  let driver = Driver.create ctx manager in
-  if check then begin
-    (* Sampled: the full invariant sweep is O(live), so running it on
-       every event turns an O(T) execution into O(T^2). One event in
-       [check_every] keeps executions honest at tolerable cost; the
-       final check below always runs on the complete heap. *)
-    let countdown = ref check_every in
-    Heap.on_event (Ctx.heap ctx) (fun _ ->
-        decr countdown;
-        if !countdown <= 0 then begin
-          countdown := check_every;
-          Heap.check_invariants (Ctx.heap ctx)
-        end)
-  end;
+  (* The oracle audits [audit_c] — normally the enforced bound, but a
+     caller can audit a bound the budget does not enforce (that is how
+     the CI drill models a manager whose budget debit is broken). *)
+  let audit_c = match audit_c with Some _ as ac -> ac | None -> c in
+  (* One execution of the interaction. Programs build their state
+     inside their run closure, so executions are deterministic and
+     repeatable; [record] controls whether the heap's event stream is
+     captured as a trace. The primary run does not record — retaining
+     every event costs real time and memory on clean runs — and on a
+     violation the run is repeated with the recorder on to obtain the
+     trace for triage. *)
+  let exec ~record =
+    let budget =
+      match c with Some c -> Budget.create ~c | None -> Budget.unlimited ()
+    in
+    let ctx = Ctx.create ?backend ~budget ~live_bound:m () in
+    let heap = Ctx.heap ctx in
+    (* Listener order matters: Heap.on_event fires most-recently-added
+       first, and Ctx wired the budget at heap creation (so it fires
+       last). Attaching the oracle before the trace recorder means the
+       recorder runs first on every event — the violating event is
+       already recorded when the oracle raises. *)
+    let oracle =
+      if audit = Pc_audit.Oracle.Off then None
+      else
+        Some
+          (Pc_audit.Oracle.attach ~level:audit ~sample_every:audit_every
+             ?c:audit_c ~live_bound:m heap)
+    in
+    let trace =
+      if record then begin
+        let t = Trace.create () in
+        Trace.record t heap;
+        Some t
+      end
+      else None
+    in
+    let driver = Driver.create ctx manager in
+    if check then begin
+      (* Sampled: the full invariant sweep is O(live), so running it on
+         every event turns an O(T) execution into O(T^2). One event in
+         [check_every] keeps executions honest at tolerable cost; the
+         final check below always runs on the complete heap. *)
+      let countdown = ref check_every in
+      Heap.on_event heap (fun _ ->
+          decr countdown;
+          if !countdown <= 0 then begin
+            countdown := check_every;
+            Heap.check_invariants heap
+          end)
+    end;
+    let event_seq () =
+      match oracle with Some o -> Pc_audit.Oracle.seq o | None -> -1
+    in
+    let result =
+      try
+        Program.run program driver;
+        (match oracle with
+        | Some oracle -> Pc_audit.Oracle.finish ?theory_h oracle
+        | None -> ());
+        Ok ()
+      with
+      | Pc_audit.Oracle.Violation v -> Error v
+      | Budget.Exceeded { requested; available }
+        when audit <> Pc_audit.Oracle.Off ->
+          (* The budget's own enforcement tripping under audit means
+             the oracle's (identical) bound was not the binding one —
+             e.g. the enforced c is tighter than the audited c.
+             Triaged the same way. *)
+          Error
+            {
+              Pc_audit.Oracle.oracle = "budget";
+              seq = event_seq ();
+              detail =
+                Printf.sprintf
+                  "Budget.Exceeded: move of %d words, %d available" requested
+                  available;
+            }
+      | Pf.Audit_failure { step; delta_u; floor }
+        when audit <> Pc_audit.Oracle.Off ->
+          (* PF's own Claim 4.16 potential audit, surfaced as a triaged
+             (unshrinkable: adversary-internal) violation. *)
+          Error
+            {
+              Pc_audit.Oracle.oracle = "pf-potential";
+              seq = event_seq ();
+              detail =
+                Printf.sprintf
+                  "Claim 4.16 violated at stage-2 step %d: potential grew by \
+                   %d < floor %d"
+                  step delta_u floor;
+            }
+    in
+    (budget, heap, trace, result)
+  in
   Log.debug (fun k ->
-      k "running %s vs %s (M=%d, c=%s)" (Program.name program)
+      k "running %s vs %s (M=%d, c=%s, audit=%a)" (Program.name program)
         (Manager.name manager) m
-        (match c with Some c -> Fmt.str "%g" c | None -> "unlimited"));
-  Program.run program driver;
-  let heap = Ctx.heap ctx in
+        (match c with Some c -> Fmt.str "%g" c | None -> "unlimited")
+        Pc_audit.Oracle.pp_level audit);
+  let budget, heap, _, result = exec ~record:false in
+  (match result with
+  | Ok () -> ()
+  | Error v -> (
+      let info =
+        {
+          Pc_audit.Report.program = Program.name program;
+          manager = Manager.name manager;
+          m;
+          n = Program.max_size program;
+          c = audit_c;
+          backend = Heap.backend heap;
+          theory_h;
+        }
+      in
+      (* Triage: repeat the execution with the recorder on, then
+         delta-debug the captured trace and emit a repro bundle
+         (raising Report.Reported). If the repeat does not reproduce
+         the violation — a nondeterministic program — the violation
+         propagates as-is, without a bundle. *)
+      match exec ~record:true with
+      | _, _, Some trace, Error v' when v'.Pc_audit.Oracle.oracle = v.oracle ->
+          Pc_audit.Report.capture ?dir:failures_dir ~info ~violation:v ~trace
+            ()
+      | _ -> raise (Pc_audit.Oracle.Violation v)));
   Heap.check_invariants heap;
   Log.info (fun k ->
       k "%s vs %s: HS=%d (%.3f x M), moved %d of %d allocated"

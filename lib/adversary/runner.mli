@@ -21,6 +21,11 @@ val run :
   ?c:float ->
   ?check:bool ->
   ?check_every:int ->
+  ?audit:Pc_audit.Oracle.level ->
+  ?audit_every:int ->
+  ?audit_c:float ->
+  ?theory_h:float ->
+  ?failures_dir:string ->
   program:Program.t ->
   manager:Pc_manager.Manager.t ->
   unit ->
@@ -31,6 +36,22 @@ val run :
     during the run: one event in [check_every] (default 64) triggers
     the O(live) sweep — set [check_every:1] to check every event, tests
     only. A full check always runs once at the end of every
-    execution. *)
+    execution.
+
+    [audit] (default [Off]) attaches the {!Pc_audit.Oracle} layer to
+    the run: the heap's event stream is checked (budget, live-space,
+    structural, and — at [Differential] — the backend-divergence
+    watchdog; [audit_every], default 64, is the structural-sweep
+    sampling period). On any violation — including
+    {!Pc_heap.Budget.Exceeded} and PF's {!Pf.Audit_failure} — the
+    deterministic execution is repeated with a {!Pc_heap.Trace}
+    recorder attached (clean runs pay no recording cost), the captured
+    trace is delta-debugged, and an atomic repro bundle is emitted
+    under [failures_dir] (default {!Pc_audit.Report.default_dir}); the
+    run raises {!Pc_audit.Report.Reported}. [audit_c] audits a compaction bound
+    different from the enforced one (test hook: an unlimited budget
+    plus [audit_c] models a manager whose budget debit is broken);
+    it defaults to [c]. [theory_h] additionally asserts Theorem 1's
+    floor [HS/M >= theory_h] on the final heap. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

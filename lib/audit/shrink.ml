@@ -1,0 +1,133 @@
+open Pc_heap
+
+(* ddmin (Zeller & Hildebrandt's delta debugging) over trace events,
+   followed by a single-event-removal fixpoint.
+
+   The predicate answers "does this candidate sub-trace still trip the
+   oracle under replay?". ddmin alone guarantees 1-minimality only
+   with respect to its final chunk granularity; the trailing fixpoint
+   makes the result 1-minimal outright: removing any single event
+   stops the violation. Everything is deterministic — no randomness,
+   no timestamps — so the same input trace always shrinks to the same
+   minimum. *)
+
+let src = Logs.Src.create "pc.shrink" ~doc:"trace delta debugging"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let events_of trace =
+  Array.of_list
+    (List.map (fun (e : Trace.entry) -> e.event) (Trace.entries trace))
+
+(* [start, len] bounds of [arr] cut into [n] chunks of near-equal
+   length (the first [len mod n] chunks get the extra element). *)
+let chunk_bounds len n =
+  let n = min n len in
+  let base = len / n and extra = len mod n in
+  let rec go i start acc =
+    if i >= n then List.rev acc
+    else
+      let l = base + if i < extra then 1 else 0 in
+      go (i + 1) (start + l) ((start, l) :: acc)
+  in
+  go 0 0 []
+
+let remove arr start len =
+  Array.append (Array.sub arr 0 start)
+    (Array.sub arr (start + len) (Array.length arr - start - len))
+
+(* Suffix slice with alloc-dependency closure. The violating event is
+   the last event of the trace, and small repros usually live in its
+   recent past — but a bare suffix rarely replays (its frees and moves
+   reference objects allocated earlier). The closure of the last [k]
+   events adds, in original order, the Alloc of every oid the window
+   references, which is exactly what replay needs to accept the
+   candidate. Doubling [k] costs log(len) replays and either finds a
+   small reproducing seed for ddmin proper or falls back to the full
+   trace (e.g. live-bound violations, which need the whole live set). *)
+let slice ~check events =
+  let len = Array.length events in
+  let oid_of = function
+    | Heap.Alloc o | Heap.Free o -> o.Heap.oid
+    | Heap.Move m -> m.oid
+  in
+  let closure k =
+    let keep = Array.make len false in
+    let needed = Hashtbl.create 16 in
+    for i = len - k to len - 1 do
+      keep.(i) <- true;
+      Hashtbl.replace needed (Oid.to_int (oid_of events.(i))) ()
+    done;
+    for i = len - k - 1 downto 0 do
+      match events.(i) with
+      | Heap.Alloc o when Hashtbl.mem needed (Oid.to_int o.oid) ->
+          keep.(i) <- true;
+          Hashtbl.remove needed (Oid.to_int o.oid)
+      | Heap.Alloc _ | Heap.Free _ | Heap.Move _ -> ()
+    done;
+    let out = ref [] in
+    for i = len - 1 downto 0 do
+      if keep.(i) then out := events.(i) :: !out
+    done;
+    Array.of_list !out
+  in
+  let rec go k =
+    if k >= len then events
+    else
+      let candidate = closure k in
+      if Array.length candidate < len && check candidate then candidate
+      else go (2 * k)
+  in
+  if len <= 1 then events else go 1
+
+let ddmin ?(max_tests = max_int) ~predicate trace =
+  if not (predicate trace) then
+    invalid_arg "Shrink.ddmin: predicate does not hold on the input trace";
+  let tests = ref 0 in
+  (* Once the test budget is spent every further candidate counts as
+     non-reproducing, which terminates the search at the current (still
+     reproducing) trace. *)
+  let check events =
+    !tests < max_tests
+    &&
+    (incr tests;
+     predicate (Trace.of_events (Array.to_list events)))
+  in
+  let rec go events n =
+    let len = Array.length events in
+    if len <= 1 then events
+    else
+      let cs = chunk_bounds len n in
+      (* Reduce to a subset: some single chunk still reproduces. *)
+      match
+        List.find_opt (fun (s, l) -> l < len && check (Array.sub events s l)) cs
+      with
+      | Some (s, l) -> go (Array.sub events s l) 2
+      | None -> (
+          (* Reduce to a complement: dropping some chunk preserves the
+             violation. *)
+          match
+            List.find_opt (fun (s, l) -> l < len && check (remove events s l)) cs
+          with
+          | Some (s, l) -> go (remove events s l) (max (n - 1) 2)
+          | None ->
+              (* Refine granularity, or stop at single-event chunks. *)
+              if n < len then go events (min (2 * n) len) else events)
+  in
+  (* Fixpoint of single-event removals: guarantees 1-minimality. *)
+  let rec polish events =
+    let len = Array.length events in
+    let rec try_from i =
+      if i >= len then None
+      else
+        let candidate = remove events i 1 in
+        if check candidate then Some candidate else try_from (i + 1)
+    in
+    match try_from 0 with Some smaller -> polish smaller | None -> events
+  in
+  let events = slice ~check (events_of trace) in
+  let shrunk = polish (go events (min 2 (Array.length events))) in
+  Log.info (fun k ->
+      k "ddmin: %d events -> %d events in %d replays" (Array.length events)
+        (Array.length shrunk) !tests);
+  Trace.of_events (Array.to_list shrunk)

@@ -1,0 +1,24 @@
+(** Delta debugging of violating heap traces.
+
+    A suffix slice with alloc-dependency closure (the violating event
+    is the last one; try the closure of the last 1, 2, 4, ... events —
+    log-many replays) seeds ddmin (Zeller & Hildebrandt) over the
+    trace's event sequence, followed by a single-event-removal
+    fixpoint, so the result is {e 1-minimal}: the predicate still
+    holds on the result, and removing any single remaining event makes
+    it fail. Deterministic — the same trace and predicate always
+    shrink to the same minimum. *)
+
+val ddmin :
+  ?max_tests:int ->
+  predicate:(Pc_heap.Trace.t -> bool) ->
+  Pc_heap.Trace.t ->
+  Pc_heap.Trace.t
+(** [predicate] decides whether a candidate sub-trace still exhibits
+    the failure (typically: replay it against the violated oracle and
+    check the same oracle trips — a malformed candidate counts as
+    [false], see {!Pc_heap.Trace.replay}). [max_tests] bounds the
+    number of predicate evaluations; when the budget runs out the
+    current (still reproducing, possibly non-minimal) trace is
+    returned. Raises [Invalid_argument] if [predicate] fails on the
+    input itself. *)

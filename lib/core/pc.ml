@@ -32,6 +32,14 @@ module Sawtooth = Pc_adversary.Sawtooth
 module Reduction = Pc_adversary.Reduction
 module Script = Pc_adversary.Script
 
+(* Self-auditing runs: runtime oracles, the backend-divergence
+   watchdog, and trace-shrinking failure triage *)
+module Audit = struct
+  module Oracle = Pc_audit.Oracle
+  module Shrink = Pc_audit.Shrink
+  module Report = Pc_audit.Report
+end
+
 (* The sweep engine: deterministic job specs, a Domain worker pool,
    and the content-addressed result cache *)
 module Exec = struct
@@ -61,10 +69,17 @@ type pf_report = {
   theory_h : float; (* Theorem 1 waste factor at these parameters *)
 }
 
-let run_pf ?backend ?ell ~m ~n ~c ~manager () =
+let run_pf ?backend ?ell ?(audit = Pc_audit.Oracle.Off) ?failures_dir ~m ~n ~c
+    ~manager () =
   let mgr = Managers.construct_exn manager in
-  let config, program = Pf.program ?ell ~m ~n ~c () in
-  let outcome = Runner.run ?backend ~c ~program ~manager:mgr () in
+  (* At Full the oracle layer also turns on PF's internal Claim 4.16
+     potential audit. *)
+  let pf_audit = audit = Pc_audit.Oracle.Full in
+  let config, program = Pf.program ?ell ~audit:pf_audit ~m ~n ~c () in
+  let outcome =
+    Runner.run ?backend ~c ~audit ~theory_h:config.h ?failures_dir
+      ~program ~manager:mgr ()
+  in
   let theory_h = Pc_bounds.Cohen_petrank.waste_factor ~m ~n ~c in
   { outcome; config; theory_h }
 

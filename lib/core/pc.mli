@@ -13,7 +13,9 @@
     - the interaction model and adversaries: {!Driver}, {!Program},
       {!Runner}, {!Robson_pr}, {!Pf}, {!Random_workload};
     - closed-form bounds: {!Bounds};
-    - the parallel sweep engine with its result cache: {!Exec}. *)
+    - the parallel sweep engine with its result cache: {!Exec};
+    - self-auditing runs: runtime oracles, the backend-divergence
+      watchdog and trace-shrinking failure triage: {!Audit}. *)
 
 module Backend = Pc_heap.Backend
 module Word = Pc_heap.Word
@@ -38,6 +40,15 @@ module Random_workload = Pc_adversary.Random_workload
 module Sawtooth = Pc_adversary.Sawtooth
 module Reduction = Pc_adversary.Reduction
 module Script = Pc_adversary.Script
+
+(** Self-auditing runs: composable runtime oracles ({!Audit.Oracle}),
+    ddmin trace minimization ({!Audit.Shrink}) and replayable repro
+    bundles with the shared exit-code taxonomy ({!Audit.Report}). *)
+module Audit : sig
+  module Oracle = Pc_audit.Oracle
+  module Shrink = Pc_audit.Shrink
+  module Report = Pc_audit.Report
+end
 
 (** The sweep engine: deterministic job specs, a [Domain] worker pool,
     and the content-addressed on-disk result cache. *)
@@ -68,6 +79,8 @@ type pf_report = {
 val run_pf :
   ?backend:Pc_heap.Backend.t ->
   ?ell:int ->
+  ?audit:Pc_audit.Oracle.level ->
+  ?failures_dir:string ->
   m:int ->
   n:int ->
   c:float ->
@@ -75,7 +88,11 @@ val run_pf :
   unit ->
   pf_report
 (** Run the paper's adversary [P_F] against a manager from
-    {!Managers}, under the c-partial budget. *)
+    {!Managers}, under the c-partial budget. [audit] (default [Off])
+    attaches the oracle layer including the Theorem 1 floor; at [Full]
+    it also enables PF's internal Claim 4.16 potential audit. On a
+    violation the run raises {!Audit.Report.Reported} with the repro
+    bundle (written under [failures_dir]). *)
 
 type robson_report = {
   outcome : Runner.outcome;

@@ -34,6 +34,7 @@ type job_result = {
   from_journal : bool;
   attempts : int;
   elapsed : float;
+  bundle : string option;
 }
 
 type summary = {
@@ -44,20 +45,35 @@ type summary = {
   recovered : int;
   retried : int;
   failed : int;
+  violations : int;
+  bundles : string list;
   wall : float;
 }
 
 (* ------------------------------------------------------------------ *)
 (* One job, with retries                                              *)
 
-let run_once ?faults spec ~digest ~attempt =
+(* Theorem 1's floor applies to full-strength PF only: the ablation
+   variants (no density maintenance, truncated stage 1) are designed
+   to fall below it. *)
+let theory_h_of spec =
+  match (spec.Spec.workload, spec.Spec.c) with
+  | Spec.Pf { ell; stage1_steps = None; maintain_density = true }, Some c -> (
+      match Pf.config ?ell ~m:spec.Spec.m ~n:spec.Spec.n ~c () with
+      | cfg -> Some cfg.Pf.h
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let run_once ?faults ?audit ?failures_dir spec ~digest ~attempt =
   match
     (match faults with
     | Some f -> Faults.pre_job f ~digest ~attempt
     | None -> ());
-    let program = Spec.build spec in
+    let pf_audit = audit = Some Pc_audit.Oracle.Full in
+    let program = Spec.build ~pf_audit spec in
     let manager = Spec.manager spec in
-    Runner.run ?c:spec.Spec.c ~program ~manager ()
+    Runner.run ?c:spec.Spec.c ?audit ?theory_h:(theory_h_of spec)
+      ?failures_dir ~program ~manager ()
   with
   | outcome -> Ok outcome
   | exception (Faults.Sweep_killed _ as e) ->
@@ -73,16 +89,18 @@ let backoff_sleep ~seed ~digest ~backoff k =
     Unix.sleepf (backoff *. (2. ** float_of_int k) *. (1. +. jitter))
   end
 
-let execute_with_retries ?faults ?(retries = 0) ?timeout ?(backoff = 0.1) spec =
+let execute_with_retries ?faults ?(retries = 0) ?timeout ?(backoff = 0.1)
+    ?audit ?failures_dir spec =
   let digest = Spec.digest spec in
   let seed = match faults with Some f -> Faults.seed f | None -> 0 in
   let t0 = Unix.gettimeofday () in
+  let bundle = ref None in
   (* [attempt] numbers every execution; [transients] counts the
      transient failures burned so far (capped by [retries]);
      [probed] is set once a generic exception has been re-run. *)
   let rec go ~attempt ~transients ~probed =
     let a0 = Unix.gettimeofday () in
-    let result = run_once ?faults spec ~digest ~attempt in
+    let result = run_once ?faults ?audit ?failures_dir spec ~digest ~attempt in
     let attempt_elapsed = Unix.gettimeofday () -. a0 in
     let timed_out =
       match timeout with Some limit -> attempt_elapsed > limit | None -> false
@@ -111,6 +129,16 @@ let execute_with_retries ?faults ?(retries = 0) ?timeout ?(backoff = 0.1) spec =
                            (Option.get timeout))
     | Ok outcome -> (Ok outcome, attempt + 1)
     | Error (Faults.Worker_crash _) -> retry_transient "worker crash"
+    | Error (Pc_audit.Report.Reported b) ->
+        (* An oracle violation is deterministic by construction (the
+           bundle's replay already reproduced it during triage): no
+           probe, no retry, and the bundle path rides on the result. *)
+        bundle := Some b.Pc_audit.Report.dir;
+        ( Error
+            (Fmt.str "oracle violation: %a [bundle: %s]"
+               Pc_audit.Oracle.pp_violation b.Pc_audit.Report.violation
+               b.Pc_audit.Report.dir),
+          attempt + 1 )
     | Error e ->
         if timed_out then
           retry_transient
@@ -135,6 +163,7 @@ let execute_with_retries ?faults ?(retries = 0) ?timeout ?(backoff = 0.1) spec =
     from_journal = false;
     attempts;
     elapsed = Unix.gettimeofday () -. t0;
+    bundle = !bundle;
   }
 
 let execute spec = execute_with_retries spec
@@ -142,8 +171,8 @@ let execute spec = execute_with_retries spec
 (* ------------------------------------------------------------------ *)
 (* The sweep                                                          *)
 
-let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
-    =
+let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults
+    ?audit ?failures_dir specs =
   let t0 = Unix.gettimeofday () in
   let specs = Array.of_list specs in
   let n = Array.length specs in
@@ -167,6 +196,7 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
                     from_journal = true;
                     attempts = 0;
                     elapsed = 0.;
+                    bundle = None;
                   }
           | None -> ())
         specs);
@@ -191,6 +221,7 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
                       from_journal = false;
                       attempts = 0;
                       elapsed = 0.;
+                      bundle = None;
                     }
             | Cache.Miss -> ()
             | Cache.Invalid { path; reason } ->
@@ -218,7 +249,8 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
         (Array.length misses) (max 1 jobs));
   let exec_one i =
     let r =
-      execute_with_retries ?faults ?retries ?timeout ?backoff specs.(i)
+      execute_with_retries ?faults ?retries ?timeout ?backoff ?audit
+        ?failures_dir specs.(i)
     in
     if r.attempts > 1 then
       ignore (Atomic.fetch_and_add retried (r.attempts - 1));
@@ -244,6 +276,7 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
          results)
   in
   let count p = List.length (List.filter p results) in
+  let bundles = List.filter_map (fun r -> r.bundle) results in
   let summary =
     {
       total = n;
@@ -253,6 +286,8 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults specs
       recovered = Atomic.get recovered;
       retried = Atomic.get retried;
       failed = count (fun r -> Result.is_error r.result);
+      violations = List.length bundles;
+      bundles;
       wall = Unix.gettimeofday () -. t0;
     }
   in
@@ -272,4 +307,9 @@ let pp_summary ppf s =
     Fmt.pf ppf " (%d invalid cache entr%s recovered)" s.recovered
       (if s.recovered = 1 then "y" else "ies");
   if s.retried > 0 then
-    Fmt.pf ppf " (%d retr%s)" s.retried (if s.retried = 1 then "y" else "ies")
+    Fmt.pf ppf " (%d retr%s)" s.retried (if s.retried = 1 then "y" else "ies");
+  if s.violations > 0 then begin
+    Fmt.pf ppf " (%d oracle violation%s)" s.violations
+      (if s.violations = 1 then "" else "s");
+    List.iter (fun b -> Fmt.pf ppf "@,  bundle: %s" b) s.bundles
+  end

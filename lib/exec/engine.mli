@@ -33,6 +33,9 @@ type job_result = {
   attempts : int;
       (** execution attempts this run; [0] for cache/journal hits *)
   elapsed : float;  (** seconds spent executing; [0.] for hits *)
+  bundle : string option;
+      (** repro-bundle directory when the job died on a triaged oracle
+          violation (see {!Pc_audit.Report}) *)
 }
 
 type summary = {
@@ -46,6 +49,8 @@ type summary = {
           silent cache rot made visible *)
   retried : int;  (** extra execution attempts across all jobs *)
   failed : int;
+  violations : int;  (** jobs that died on a triaged oracle violation *)
+  bundles : string list;  (** their repro-bundle directories *)
   wall : float;  (** wall-clock seconds for the whole sweep *)
 }
 
@@ -57,6 +62,8 @@ val run :
   ?timeout:float ->
   ?backoff:float ->
   ?faults:Faults.t ->
+  ?audit:Pc_audit.Oracle.level ->
+  ?failures_dir:string ->
   Spec.t list ->
   job_result list * summary
 (** [jobs] (default 1) caps the worker-domain count; [jobs <= 1] runs
@@ -67,7 +74,20 @@ val run :
     pure simulation cannot be preempted); [backoff] (default 0.1)
     seeds the exponential backoff base in seconds. [faults] injects
     seeded chaos at job and cache boundaries (see {!Faults}). Results
-    come back in input order. *)
+    come back in input order.
+
+    [audit] attaches the {!Pc_audit.Oracle} layer to every executed
+    job (at [Full] this also enables PF's internal Claim 4.16 audit;
+    full-strength PF specs additionally get the Theorem 1 floor). A
+    violating job is deterministic by definition — it degrades to
+    [Error] without probe or retry, its repro bundle (written under
+    [failures_dir], default {!Pc_audit.Report.default_dir}) rides on
+    {!job_result.bundle}, and the summary counts it in
+    {!summary.violations}. The audit level is not part of the spec's
+    cache identity: audited and unaudited runs of the same spec share
+    cache entries (auditing changes what is checked, never the
+    outcome) — use a fresh cache or [--no-cache] to force audited
+    re-execution of previously cached points. *)
 
 val execute : Spec.t -> job_result
 (** Run one spec on the calling domain, bypassing cache, journal and
@@ -78,6 +98,8 @@ val execute_with_retries :
   ?retries:int ->
   ?timeout:float ->
   ?backoff:float ->
+  ?audit:Pc_audit.Oracle.level ->
+  ?failures_dir:string ->
   Spec.t ->
   job_result
 (** The per-job attempt loop [run] uses, exposed for tests. *)

@@ -73,7 +73,7 @@ let random_churn ?(seed = 42) ?(churn = 10_000) ?c ~manager ~m ~dist
 (* ------------------------------------------------------------------ *)
 (* Realisation                                                        *)
 
-let build t =
+let build ?(pf_audit = false) t =
   match t.workload with
   | Pf { ell; stage1_steps; maintain_density } ->
       let c =
@@ -82,7 +82,8 @@ let build t =
         | None -> invalid_arg "Spec.build: a PF spec needs a compaction bound c"
       in
       let _config, program =
-        Pf.program ?ell ?stage1_steps ~maintain_density ~m:t.m ~n:t.n ~c ()
+        Pf.program ?ell ?stage1_steps ~maintain_density ~audit:pf_audit ~m:t.m
+          ~n:t.n ~c ()
       in
       program
   | Robson { steps } -> Robson_pr.program ?steps ~m:t.m ~n:t.n ()

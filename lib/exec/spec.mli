@@ -77,10 +77,13 @@ val random_churn :
 
 (** {1 Realisation} *)
 
-val build : t -> Pc_adversary.Program.t
+val build : ?pf_audit:bool -> t -> Pc_adversary.Program.t
 (** Construct a fresh program for this spec. Raises [Invalid_argument]
     on parameters the workload rejects (the engine captures this per
-    job). *)
+    job). [pf_audit] (default false) additionally enables PF's
+    internal Claim 4.16 potential audit — expensive, and not part of
+    the spec's identity (it changes what is checked, never the
+    outcome). *)
 
 val manager : t -> Pc_manager.Manager.t
 (** Fresh manager instance. Raises [Invalid_argument] on an unknown

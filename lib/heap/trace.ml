@@ -6,33 +6,118 @@
    makes adversarial executions inspectable offline. *)
 
 type entry = { seq : int; event : Heap.event }
-type t = { mutable entries : entry list; mutable length : int }
 
-let create () = { entries = []; length = 0 }
+(* Recording rides on the heap's hot path, so events are stored
+   unboxed: five ints per event ([tag; oid; addr/src; dst; size]) in a
+   flat doubling int array. Retaining the event values themselves (in
+   a list or pointer array) makes every event a minor-heap survivor
+   the GC must promote, which costs an order of magnitude more than
+   these plain int stores. *)
+type t = { mutable buf : int array; mutable length : int }
 
-let record trace heap =
-  Heap.on_event heap (fun event ->
-      trace.entries <- { seq = trace.length; event } :: trace.entries;
-      trace.length <- trace.length + 1)
+let stride = 5
+let tag_alloc = 0
+let tag_free = 1
+let tag_move = 2
+
+let create () = { buf = [||]; length = 0 }
+
+let push t event =
+  let cap = Array.length t.buf in
+  if stride * t.length = cap then begin
+    let grown = Array.make (max (256 * stride) (2 * cap)) 0 in
+    Array.blit t.buf 0 grown 0 cap;
+    t.buf <- grown
+  end;
+  let base = stride * t.length in
+  (match event with
+  | Heap.Alloc o ->
+      t.buf.(base) <- tag_alloc;
+      t.buf.(base + 1) <- Oid.to_int o.oid;
+      t.buf.(base + 2) <- o.addr;
+      t.buf.(base + 4) <- o.size
+  | Heap.Free o ->
+      t.buf.(base) <- tag_free;
+      t.buf.(base + 1) <- Oid.to_int o.oid;
+      t.buf.(base + 2) <- o.addr;
+      t.buf.(base + 4) <- o.size
+  | Heap.Move m ->
+      t.buf.(base) <- tag_move;
+      t.buf.(base + 1) <- Oid.to_int m.oid;
+      t.buf.(base + 2) <- m.src;
+      t.buf.(base + 3) <- m.dst;
+      t.buf.(base + 4) <- m.size);
+  t.length <- t.length + 1
+
+let event_at t i =
+  let base = stride * i in
+  let oid = Oid.of_int t.buf.(base + 1) in
+  let size = t.buf.(base + 4) in
+  match t.buf.(base) with
+  | 0 -> Heap.Alloc { oid; addr = t.buf.(base + 2); size }
+  | 1 -> Heap.Free { oid; addr = t.buf.(base + 2); size }
+  | _ -> Heap.Move { oid; src = t.buf.(base + 2); dst = t.buf.(base + 3); size }
+
+let record trace heap = Heap.on_event heap (fun event -> push trace event)
+
+let of_events events =
+  let t = create () in
+  List.iter (push t) events;
+  t
 
 let length t = t.length
-let entries t = List.rev t.entries
-let iter t f = List.iter f (entries t)
+let entries t = List.init t.length (fun i -> { seq = i; event = event_at t i })
 
-(* Replay assumes the heap allocates oids densely in order, so the k-th
-   Alloc event of the trace creates oid k of the replay heap. This
-   holds for any trace recorded from a fresh heap. *)
-let replay t =
-  let heap = Heap.create () in
-  iter t (fun { event; _ } ->
-      match event with
-      | Heap.Alloc o ->
-          let oid = Heap.alloc heap ~addr:o.addr ~size:o.size in
-          if not (Oid.equal oid o.oid) then
-            failwith "Trace.replay: oid sequence mismatch"
-      | Heap.Free o -> Heap.free heap o.oid
-      | Heap.Move m -> Heap.move heap m.oid ~dst:m.dst);
-  heap
+let iter t f =
+  for i = 0 to t.length - 1 do
+    f { seq = i; event = event_at t i }
+  done
+
+(* Replay does not assume the trace's oid sequence is dense: a
+   trace-side oid maps to whatever oid the replay heap hands out for
+   the corresponding Alloc. This is what lets a delta-debugger drop
+   arbitrary event subsets and still replay the remainder — a
+   reference to a dropped allocation (or any placement the heap
+   rejects) is reported as [Error], never an exception, so "trace no
+   longer well-formed" is an ordinary shrink rejection. Exceptions
+   raised by heap-event listeners (oracles, budgets) propagate. *)
+exception Reject of string
+
+let replay_onto t heap =
+  let map : (int, Oid.t) Hashtbl.t = Hashtbl.create 256 in
+  let reject seq fmt =
+    Fmt.kstr (fun s -> raise (Reject (Fmt.str "event %d: %s" seq s))) fmt
+  in
+  let lookup seq oid =
+    match Hashtbl.find_opt map (Oid.to_int oid) with
+    | Some o -> o
+    | None -> reject seq "reference to unknown oid %d" (Oid.to_int oid)
+  in
+  try
+    iter t (fun { seq; event } ->
+        match event with
+        | Heap.Alloc o -> (
+            if Hashtbl.mem map (Oid.to_int o.oid) then
+              reject seq "duplicate allocation of oid %d" (Oid.to_int o.oid);
+            match Heap.alloc heap ~addr:o.addr ~size:o.size with
+            | oid -> Hashtbl.replace map (Oid.to_int o.oid) oid
+            | exception Invalid_argument msg -> reject seq "%s" msg)
+        | Heap.Free o -> (
+            let oid = lookup seq o.oid in
+            match Heap.free heap oid with
+            | () -> Hashtbl.remove map (Oid.to_int o.oid)
+            | exception Invalid_argument msg -> reject seq "%s" msg)
+        | Heap.Move m -> (
+            let oid = lookup seq m.oid in
+            match Heap.move heap oid ~dst:m.dst with
+            | () -> ()
+            | exception Invalid_argument msg -> reject seq "%s" msg));
+    Ok ()
+  with Reject msg -> Error msg
+
+let replay ?backend t =
+  let heap = Heap.create ?backend () in
+  match replay_onto t heap with Ok () -> Ok heap | Error msg -> Error msg
 
 let pp_entry ppf { seq; event } = Fmt.pf ppf "%6d %a" seq Heap.pp_event event
 let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_entry) ppf (entries t)
@@ -131,10 +216,7 @@ let to_string t =
 
 let of_string s =
   let t = create () in
-  let add event =
-    t.entries <- { seq = t.length; event } :: t.entries;
-    t.length <- t.length + 1
-  in
+  let add = push t in
   String.split_on_char '\n' s
   |> List.iter (fun line ->
          match String.split_on_char ' ' (String.trim line) with

@@ -13,16 +13,30 @@ val record : t -> Heap.t -> unit
 (** Start appending [heap]'s events to the trace. The heap should be
     fresh if the trace is meant to be replayable. *)
 
+val of_events : Heap.event list -> t
+(** A trace from a bare event list, numbered from 0 — how the shrinker
+    builds candidate sub-traces. *)
+
 val length : t -> int
 val entries : t -> entry list
 (** In execution order. *)
 
 val iter : t -> (entry -> unit) -> unit
 
-val replay : t -> Heap.t
-(** Re-execute the trace on a fresh heap. Raises [Failure] if the
-    trace's oid sequence is not dense from 0 (i.e. it was not recorded
-    from a fresh heap). *)
+val replay : ?backend:Backend.t -> t -> (Heap.t, string) result
+(** Re-execute the trace on a fresh heap of the chosen substrate
+    (default {!Backend.default}). Trace-side oids are remapped to the
+    replay heap's oids, so the trace need not be oid-dense: dropping
+    events from a recorded trace leaves it replayable as long as no
+    surviving event refers to a dropped allocation. [Error] reports
+    the first event the heap rejects (unknown or duplicate oid,
+    non-free extent) — for a shrinker this is a candidate rejection,
+    not a crash. Exceptions raised by heap-event listeners attached to
+    the replay heap (oracles, budgets) propagate unchanged. *)
+
+val replay_onto : t -> Heap.t -> (unit, string) result
+(** {!replay} onto a caller-supplied (fresh) heap — the caller can
+    attach listeners (e.g. an audit oracle) before replaying. *)
 
 val to_string : t -> string
 val of_string : string -> t

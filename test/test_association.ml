@@ -119,7 +119,9 @@ let test_create_validation () =
     (Invalid_argument "Association.create: need l >= 1") (fun () ->
       ignore (Association.create ~chunk_log:3 ~ell:0))
 
-(* Random association scripts keep the structural invariants. *)
+(* Random association scripts keep the structural invariants — checked
+   after every step, and the scripts also exercise [merge_step] (the
+   between-steps chunk-size doubling of PF). *)
 let prop_random_scripts =
   QCheck.Test.make ~name:"random scripts keep invariants" ~count:50
     QCheck.(pair (int_bound 100_000) (int_range 5 80))
@@ -128,7 +130,7 @@ let prop_random_scripts =
       let a = Association.create ~chunk_log:3 ~ell:2 in
       let next = ref 0 in
       for _ = 1 to steps do
-        match Random.State.int st 5 with
+        (match Random.State.int st 6 with
         | 0 ->
             incr next;
             Association.assoc_whole a (oid !next)
@@ -149,13 +151,16 @@ let prop_random_scripts =
                 ignore (Association.migrate_half a ~from_idx:idx e)
             | e :: _ -> Association.remove_entry a idx e
             | [] -> ())
-        | _ ->
+        | 4 ->
             (* only reset (empty) chunks can join E, as in PF line 14 *)
             let idx = Random.State.int st 8 in
             ignore (Association.reset_chunk a idx);
             Association.set_middle a idx
+        | _ ->
+            (* keep chunk sizes bounded across long scripts *)
+            if Association.chunk_log a < 16 then Association.merge_step a);
+        Association.check_invariants a
       done;
-      Association.check_invariants a;
       true)
 
 let () =

@@ -140,7 +140,11 @@ let prop_random_ops_invariants backend =
                 then Heap.move h oid ~dst)
       done;
       Heap.check_invariants h;
-      let replayed = Trace.replay trace in
+      let replayed =
+        match Trace.replay trace with
+        | Ok r -> r
+        | Error msg -> QCheck.Test.fail_reportf "replay rejected: %s" msg
+      in
       Heap.check_invariants replayed;
       Heap.high_water replayed = Heap.high_water h
       && Heap.live_words replayed = Heap.live_words h

@@ -24,9 +24,14 @@ let test_length_and_order () =
   in
   Alcotest.(check (list string)) "order" [ "a"; "a"; "m"; "f" ] kinds
 
+let replay_exn t =
+  match Trace.replay t with
+  | Ok h -> h
+  | Error msg -> Alcotest.fail ("replay rejected: " ^ msg)
+
 let test_replay () =
   let h, t = scripted_trace () in
-  let r = Trace.replay t in
+  let r = replay_exn t in
   Alcotest.(check int) "hwm" (Heap.high_water h) (Heap.high_water r);
   Alcotest.(check int) "live" (Heap.live_words h) (Heap.live_words r);
   Alcotest.(check int) "moved" (Heap.moved_total h) (Heap.moved_total r);
@@ -38,7 +43,7 @@ let test_serialization_roundtrip () =
   let t' = Trace.of_string s in
   Alcotest.(check int) "length preserved" (Trace.length t) (Trace.length t');
   Alcotest.(check string) "string stable" s (Trace.to_string t');
-  let r = Trace.replay t' in
+  let r = replay_exn t' in
   Heap.check_invariants r;
   Alcotest.(check int) "replayed hwm" 20 (Heap.high_water r)
 
