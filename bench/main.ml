@@ -9,6 +9,9 @@
      dune exec bench/main.exe -- --small            toy scales (quick)
      dune exec bench/main.exe -- --json BENCH_results.json
      dune exec bench/main.exe -- --backend ref      persistent substrate A/B
+     dune exec bench/main.exe -- --telemetry full   instrument the whole run;
+                                                    the snapshot lands in the
+                                                    --json report entry
 
    Every simulated experiment (sim-*, ablation) runs through the
    Pc.Exec sweep engine: points execute on a Domain worker pool
@@ -63,6 +66,9 @@ type opts = {
   faults : Pc.Exec.Faults.t option;  (* chaos mode *)
   audit : Pc.Audit.Oracle.level;  (* runtime oracles on every point *)
   failures_dir : string option;  (* where repro bundles land *)
+  telemetry : Pc.Telemetry.Sink.level;
+      (* instruments the whole harness run; the snapshot rides on the
+         --json report entry *)
 }
 
 (* Under --inject-faults any point left failed means the fault layer
@@ -510,6 +516,11 @@ let write_json opts =
               Json.List (List.map (fun s -> Json.String s) opts.selected) );
             ("sweeps", Json.List (List.rev !sweep_records));
             ("timings", Json.List (List.rev !timing_records));
+            ( "telemetry",
+              if opts.telemetry = Pc.Telemetry.Sink.Off then Json.Null
+              else
+                Pc.Telemetry.Snapshot.to_json (Pc.Telemetry.Registry.snapshot ())
+            );
           ]
       in
       (* Append to the existing report so the perf trajectory is
@@ -600,6 +611,9 @@ let main () =
         parse { opts with audit } no_cache cache_dir rest
     | "--failures-dir" :: d :: rest ->
         parse { opts with failures_dir = Some d } no_cache cache_dir rest
+    | "--telemetry" :: v :: rest ->
+        let telemetry = Pc.Telemetry.Sink.of_string_exn v in
+        parse { opts with telemetry } no_cache cache_dir rest
     | "--json" :: p :: rest ->
         parse { opts with json_path = Some p } no_cache cache_dir rest
     | "--small" :: rest -> parse { opts with small = true } no_cache cache_dir rest
@@ -624,6 +638,7 @@ let main () =
         faults = None;
         audit = Pc.Audit.Oracle.Off;
         failures_dir = None;
+        telemetry = Pc.Telemetry.Sink.Off;
       }
       false None
       (List.tl (Array.to_list Sys.argv))
@@ -636,6 +651,7 @@ let main () =
         (match cache_dir with Some d -> d | None -> Cache.default_dir ());
     }
   in
+  Pc.Telemetry.Registry.set_level opts.telemetry;
   let wants name =
     match opts.selected with [] -> true | sel -> List.mem name sel
   in

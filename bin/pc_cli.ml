@@ -104,6 +104,64 @@ let failures_dir_arg =
           "Where repro bundles are written (default: $(b,PC_FAILURES_DIR) \
            or $(b,_pc_failures)).")
 
+let telemetry_arg =
+  let level_conv =
+    Arg.conv (Pc.Telemetry.Sink.of_string, Pc.Telemetry.Sink.pp)
+  in
+  Arg.(
+    value
+    & opt level_conv Pc.Telemetry.Sink.Off
+    & info [ "telemetry" ] ~docv:"LEVEL"
+        ~doc:
+          "Instrumentation level: $(b,off) (the default; the disabled \
+           path is measurably free), $(b,summary) (counters, gauges and \
+           timed spans), or $(b,full) (additionally per-event histograms: \
+           allocation sizes, gap-scan work, the HS/M trajectory). \
+           Telemetry only observes — results are bit-identical across \
+           levels.")
+
+let telemetry_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the telemetry snapshot as JSON (schema \
+           $(b,pc-telemetry/1)) to $(docv) — feed it to $(b,pc report). \
+           Without this flag a non-off level renders the report on stdout \
+           after the run.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the outcome as JSON on stdout instead of the human table. \
+           The output is deterministic (no wall-clock fields), so it is \
+           diffable across runs.")
+
+(* Runs [f] at the requested telemetry level, then lands the snapshot:
+   to [out] as schema-tagged JSON, or rendered on stdout. A violation
+   escapes as an exception (exit code 3) without a snapshot — the repro
+   bundle is the artefact that matters on that path. *)
+let with_telemetry level out f =
+  Pc.Telemetry.Registry.set_level level;
+  let result = f () in
+  (if level <> Pc.Telemetry.Sink.Off then
+     let snap = Pc.Telemetry.Registry.snapshot () in
+     match out with
+     | Some path ->
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () ->
+             output_string oc
+               (Pc.Exec.Json.to_string (Pc.Telemetry.Snapshot.to_json snap));
+             output_char oc '\n');
+         Fmt.epr "telemetry snapshot written to %s@." path
+     | None -> Fmt.pr "@.%a@." (fun ppf -> Pc.Telemetry.Report.pp ppf) snap);
+  result
+
 (* The exit-code taxonomy shared with bench (documented in every
    subcommand's --help; CI keys off code 3). *)
 let exits =
@@ -204,9 +262,14 @@ let figure_cmd =
 
 let simulate_cmd =
   let run program manager m n c seed backend audit audit_every broken_budget
-      failures_dir =
+      failures_dir telemetry telemetry_out json =
     Pc.Backend.set_default backend;
     let mgr = Pc.Managers.construct_exn manager in
+    let emit o =
+      if json then
+        Fmt.pr "%s@." (Pc.Exec.Json.to_string (Pc.Exec.Cache.outcome_to_json o))
+      else Fmt.pr "%a@." Pc.Runner.pp_outcome o
+    in
     (* --broken-budget models a manager whose compaction-budget debit
        is broken: the enforced budget is lifted while the oracle keeps
        auditing the declared c — the audit drill in CI. *)
@@ -222,42 +285,41 @@ let simulate_cmd =
       Pc.Runner.run ~audit ~audit_every ?failures_dir ~program:prog
         ~manager:mgr ()
     in
+    with_telemetry telemetry telemetry_out @@ fun () ->
     match program with
     | "pf" ->
         let pf_audit = audit = Pc.Audit.Oracle.Full in
         let cfg, prog = Pc.Pf.program ~audit:pf_audit ~m ~n ~c () in
         let o = budgeted ~theory_h:cfg.h prog in
-        Fmt.pr "%a@." Pc.Runner.pp_outcome o;
-        Fmt.pr "theory: h=%.3f (l=%d) => HS/M should reach %.3f at scale@."
-          cfg.h cfg.ell (Float.max cfg.h 1.0)
+        emit o;
+        if not json then
+          Fmt.pr "theory: h=%.3f (l=%d) => HS/M should reach %.3f at scale@."
+            cfg.h cfg.ell (Float.max cfg.h 1.0)
     | "robson" ->
         let prog = Pc.Robson_pr.program ~m ~n () in
         let o = unbudgeted prog in
-        Fmt.pr "%a@." Pc.Runner.pp_outcome o;
-        Fmt.pr "theory (non-moving managers): HS/M >= %.3f@."
-          (Pc.Bounds.Robson.waste_factor_pow2 ~m ~n)
+        emit o;
+        if not json then
+          Fmt.pr "theory (non-moving managers): HS/M >= %.3f@."
+            (Pc.Bounds.Robson.waste_factor_pow2 ~m ~n)
     | "random" ->
         let prog =
           Pc.Random_workload.program ~seed ~m
             ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = Pc.Word.log2_floor n })
             ~target_live:(m / 2) ()
         in
-        let o = budgeted prog in
-        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+        emit (budgeted prog)
     | "pw" ->
         let prog = Pc.Pw.program ~m ~n () in
-        let o = budgeted prog in
-        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+        emit (budgeted prog)
     | "sawtooth" ->
         let prog = Pc.Sawtooth.program ~m ~n () in
-        let o = budgeted prog in
-        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+        emit (budgeted prog)
     | p when String.length p > 7 && String.sub p 0 7 = "script:" ->
         (* e.g. --program "script:a x 16; a y 8; f x; a z 4" *)
         let text = String.sub p 7 (String.length p - 7) in
         let prog = Pc.Script.program (Pc.Script.parse text) in
-        let o = unbudgeted prog in
-        Fmt.pr "%a@." Pc.Runner.pp_outcome o
+        emit (unbudgeted prog)
     | p ->
         Fmt.invalid_arg
           "unknown program %s (expected pf, robson, pw, sawtooth, random, \
@@ -305,7 +367,8 @@ let simulate_cmd =
     Term.(
       const run $ program_arg $ manager_arg $ m_small $ n_small $ c_small
       $ seed_arg $ backend_arg $ audit_arg $ audit_every_arg
-      $ broken_budget_arg $ failures_dir_arg)
+      $ broken_budget_arg $ failures_dir_arg $ telemetry_arg
+      $ telemetry_out_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc diagram                                                         *)
@@ -410,7 +473,7 @@ let trace_cmd =
 
 let sweep_cmd =
   let run manager m n cs jobs no_cache cache_dir resume retries timeout
-      inject_faults audit failures_dir =
+      inject_faults audit failures_dir telemetry telemetry_out json =
     (* Each (c, manager) point is a deterministic job spec: points run
        on the engine's Domain pool, completed points are served from
        the on-disk result cache on re-runs, and every outcome is
@@ -432,41 +495,95 @@ let sweep_cmd =
       if no_cache then None else Some (Pc.Exec.Cache.create ?dir:cache_dir ())
     in
     let specs = List.map (fun c -> Spec.pf ~c ~manager ~m ~n ()) cs in
-    let journal_dir =
-      Checkpoint.default_dir
-        ~cache_dir:
-          (match cache_dir with
-          | Some d -> d
-          | None -> Pc.Exec.Cache.default_dir ())
+    (* --no-cache means "leave no trace and read no prior state": it
+       skips the checkpoint journal along with the result cache, so a
+       golden-test or one-shot run touches no shared on-disk state. *)
+    let checkpoint =
+      if no_cache then None
+      else begin
+        let journal_dir =
+          Checkpoint.default_dir
+            ~cache_dir:
+              (match cache_dir with
+              | Some d -> d
+              | None -> Pc.Exec.Cache.default_dir ())
+        in
+        let cp = Checkpoint.open_ ~resume ~dir:journal_dir specs in
+        if resume && Checkpoint.loaded cp > 0 then
+          Fmt.pr "resuming: %d of %d outcome(s) journaled in %s@."
+            (Checkpoint.loaded cp) (List.length specs) (Checkpoint.path_of cp);
+        Some cp
+      end
     in
-    let checkpoint = Checkpoint.open_ ~resume ~dir:journal_dir specs in
-    if resume && Checkpoint.loaded checkpoint > 0 then
-      Fmt.pr "resuming: %d of %d outcome(s) journaled in %s@."
-        (Checkpoint.loaded checkpoint)
-        (List.length specs)
-        (Checkpoint.path_of checkpoint);
     let results, summary =
       Fun.protect
-        ~finally:(fun () -> Checkpoint.close checkpoint)
+        ~finally:(fun () -> Option.iter Checkpoint.close checkpoint)
         (fun () ->
-          Engine.run ~jobs ?cache ~checkpoint ~retries ?timeout ?faults ~audit
+          with_telemetry telemetry telemetry_out @@ fun () ->
+          Engine.run ~jobs ?cache ?checkpoint ~retries ?timeout ?faults ~audit
             ?failures_dir specs)
     in
-    Fmt.pr "%6s %4s %10s %10s %8s %10s %7s@." "c" "l" "theory h" "HS/M"
-      "moved" "compliant" "source";
-    List.iter2
-      (fun c (r : Engine.job_result) ->
-        match r.result with
-        | Error msg -> Fmt.epr "c=%g: %s@." c msg
-        | Ok o ->
+    let source (r : Engine.job_result) =
+      if r.from_cache then "cache"
+      else if r.from_journal then "journal"
+      else "run"
+    in
+    if json then begin
+      let module Json = Pc.Exec.Json in
+      let points =
+        List.map2
+          (fun c (r : Engine.job_result) ->
             let cfg = Pc.Pf.config ~m ~n ~c () in
-            Fmt.pr "%6g %4d %10.3f %10.3f %8d %10b %7s@." c cfg.ell
-              (Float.max cfg.h 1.0) o.hs_over_m o.moved o.compliant
-              (if r.from_cache then "cache"
-               else if r.from_journal then "journal"
-               else "run"))
-      cs results;
-    Fmt.pr "%a@." Engine.pp_summary summary;
+            let base =
+              [
+                ("c", Json.Float c);
+                ("ell", Json.Int cfg.ell);
+                ("theory_h", Json.Float (Float.max cfg.h 1.0));
+              ]
+            in
+            match r.result with
+            | Error msg -> Json.Obj (base @ [ ("error", Json.String msg) ])
+            | Ok o ->
+                Json.Obj
+                  (base
+                  @ [
+                      ("outcome", Pc.Exec.Cache.outcome_to_json o);
+                      ("source", Json.String (source r));
+                    ]))
+          cs results
+      in
+      (* No wall-clock field: the JSON form is diffable across runs. *)
+      let summary_json =
+        Json.Obj
+          [
+            ("total", Json.Int summary.total);
+            ("executed", Json.Int summary.executed);
+            ("cached", Json.Int summary.cached);
+            ("resumed", Json.Int summary.resumed);
+            ("recovered", Json.Int summary.recovered);
+            ("retried", Json.Int summary.retried);
+            ("failed", Json.Int summary.failed);
+            ("violations", Json.Int summary.violations);
+          ]
+      in
+      Fmt.pr "%s@."
+        (Json.to_string
+           (Json.Obj [ ("points", Json.List points); ("summary", summary_json) ]))
+    end
+    else begin
+      Fmt.pr "%6s %4s %10s %10s %8s %10s %7s@." "c" "l" "theory h" "HS/M"
+        "moved" "compliant" "source";
+      List.iter2
+        (fun c (r : Engine.job_result) ->
+          match r.result with
+          | Error msg -> Fmt.epr "c=%g: %s@." c msg
+          | Ok o ->
+              let cfg = Pc.Pf.config ~m ~n ~c () in
+              Fmt.pr "%6g %4d %10.3f %10.3f %8d %10b %7s@." c cfg.ell
+                (Float.max cfg.h 1.0) o.hs_over_m o.moved o.compliant (source r))
+        cs results;
+      Fmt.pr "%a@." Engine.pp_summary summary
+    end;
     if summary.violations > 0 then exit Pc.Audit.Report.exit_violation;
     if faults <> None && summary.failed > 0 then exit 1
   in
@@ -480,7 +597,10 @@ let sweep_cmd =
     Arg.(
       value & flag
       & info [ "no-cache" ]
-          ~doc:"Always execute; neither read nor write the result cache.")
+          ~doc:
+            "Always execute; neither read nor write the result cache, and \
+             skip the checkpoint journal — the sweep touches no on-disk \
+             state.")
   in
   let cache_dir_arg =
     Arg.(
@@ -552,7 +672,8 @@ let sweep_cmd =
     Term.(
       const run $ manager_arg $ m_small $ n_small $ cs_arg $ jobs_arg
       $ no_cache_arg $ cache_dir_arg $ resume_arg $ retries_arg $ timeout_arg
-      $ inject_faults_arg $ audit_arg $ failures_dir_arg)
+      $ inject_faults_arg $ audit_arg $ failures_dir_arg $ telemetry_arg
+      $ telemetry_out_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc replay                                                          *)
@@ -598,6 +719,61 @@ let replay_cmd =
     Term.(const run $ bundle_arg $ backend_opt)
 
 (* ------------------------------------------------------------------ *)
+(* pc report                                                          *)
+
+let report_cmd =
+  let run file top csv =
+    let text =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | text -> text
+      | exception Sys_error msg ->
+          Fmt.epr "pc report: %s@." msg;
+          exit Pc.Audit.Report.exit_usage
+    in
+    let parsed =
+      match Pc.Exec.Json.of_string text with
+      | j -> Pc.Telemetry.Snapshot.of_json j
+      | exception Pc.Exec.Json.Parse_error msg -> Error ("bad JSON: " ^ msg)
+    in
+    match parsed with
+    | Error msg ->
+        Fmt.epr "pc report: %s: %s@." file msg;
+        exit Pc.Audit.Report.exit_usage
+    | Ok snap ->
+        if csv then print_string (Pc.Telemetry.Snapshot.to_csv snap)
+        else Fmt.pr "%a@." (fun ppf -> Pc.Telemetry.Report.pp ~top ppf) snap
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SNAPSHOT"
+          ~doc:
+            "A telemetry snapshot (schema $(b,pc-telemetry/1)) written by \
+             $(b,--telemetry-out) or the bench harness.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Show the $(docv) hottest per-job spans (default 5).")
+  in
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ]
+          ~doc:
+            "Emit the snapshot as one wide CSV table (one row per \
+             instrument) instead of the rendered report.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~exits
+       ~doc:
+         "Render a telemetry snapshot: per-phase span breakdown, the \
+          hottest sweep jobs, counters, gauges and histograms.")
+    Term.(const run $ file_arg $ top_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
 (* pc managers                                                        *)
 
 let managers_cmd =
@@ -639,6 +815,7 @@ let () =
         trace_cmd;
         diagram_cmd;
         replay_cmd;
+        report_cmd;
         managers_cmd;
       ]
   in

@@ -13,6 +13,11 @@ open Pc_bounds
    chunk reuse cost the manager more budget than the allocation
    recharges, so the heap must keep growing: HS >= M*h (Theorem 1). *)
 
+(* Telemetry: one span per stage — stage 2 aggregates over its steps,
+   so [count] on the snapshot is the number of stage-2 steps run. *)
+let stage1_span = Pc_telemetry.Registry.span "pf.stage1"
+let stage2_span = Pc_telemetry.Registry.span "pf.stage2_step"
+
 type observation = {
   step : int; (* the step index i, or 2l-1 for the stage-1 snapshot *)
   potential : int; (* the paper's u(t) at the end of the step *)
@@ -148,7 +153,10 @@ let program ?ell ?observe ?(audit = false) ?stage1_steps
     (* Stage 1: Robson steps 0..l, then l-1 null steps (no requests —
        nothing to simulate) and the line-9 association on the
        partition D(2l-1). *)
-    let f = Robson_steps.run view ~m ~steps:stage1_steps in
+    let f =
+      Pc_telemetry.Span.time stage1_span (fun () ->
+          Robson_steps.run view ~m ~steps:stage1_steps)
+    in
     (* Ghosts are a stage-1 device (Definition 4.1): they shaped the
        offset choices and refill counts above, but they do not cross
        into stage 2 — the potential they carried is the 2^l*q1 term of
@@ -178,6 +186,7 @@ let program ?ell ?observe ?(audit = false) ?stage1_steps
     emit assoc view driver ~step:((2 * ell) - 1);
     (* Stage 2: steps 2l .. log n - 2. *)
     for i = 2 * ell to log_n - 2 do
+      Pc_telemetry.Span.enter stage2_span;
       Association.merge_step assoc;
       density_pass view assoc
         ~threshold:(if maintain_density then 1 lsl (i - ell) else 0);
@@ -225,7 +234,8 @@ let program ?ell ?observe ?(audit = false) ?stage1_steps
           end
         end
       done;
-      emit assoc view driver ~step:i
+      emit assoc view driver ~step:i;
+      Pc_telemetry.Span.exit_ stage2_span
     done
   in
   ( cfg,

@@ -8,6 +8,25 @@ let src = Logs.Src.create "pc.runner" ~doc:"program/manager executions"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Telemetry: where executions spend their time (primary run vs triage
+   re-run), how the waste factor came out against the audited theory
+   floor, and — at the [Full] level — the HS/M trajectory over the
+   run, bucketed as permille so Theorem 1's floor is readable straight
+   off the histogram. Span aggregates are shared across sweep worker
+   domains; per-domain interleavings can drop an update, which is
+   acceptable for timing aggregates and never affects outcomes. *)
+module T = Pc_telemetry
+
+let exec_span = T.Registry.span "runner.exec"
+let triage_span = T.Registry.span "runner.triage"
+let executions_c = T.Registry.counter "runner.executions"
+let violations_c = T.Registry.counter "runner.violations"
+let hs_over_m_g = T.Registry.gauge "runner.hs_over_m"
+let theory_floor_g = T.Registry.gauge "runner.theory_floor"
+let fragmentation_g = T.Registry.gauge "runner.external_fragmentation"
+let trajectory_h = T.Registry.histogram "runner.hs_over_m_permille"
+let trajectory_every = 64
+
 type outcome = {
   program : string;
   manager : string;
@@ -45,6 +64,19 @@ let run ?backend ?c ?(check = false) ?(check_every = 64)
     in
     let ctx = Ctx.create ?backend ~budget ~live_bound:m () in
     let heap = Ctx.heap ctx in
+    T.Counter.incr executions_c;
+    (* Full level only: sample the HS/M trajectory as the run unfolds.
+       The listener merely observes, so attaching it cannot change the
+       interaction — level [full] stays bit-identical to [off]. *)
+    if !T.Sink.full_active then begin
+      let countdown = ref trajectory_every in
+      Heap.on_event heap (fun _ ->
+          decr countdown;
+          if !countdown <= 0 then begin
+            countdown := trajectory_every;
+            T.Histogram.observe trajectory_h (Heap.high_water heap * 1000 / m)
+          end)
+    end;
     (* Listener order matters: Heap.on_event fires most-recently-added
        first, and Ctx wired the budget at heap creation (so it fires
        last). Attaching the oracle before the trace recorder means the
@@ -128,10 +160,13 @@ let run ?backend ?c ?(check = false) ?(check_every = 64)
         (Manager.name manager) m
         (match c with Some c -> Fmt.str "%g" c | None -> "unlimited")
         Pc_audit.Oracle.pp_level audit);
-  let budget, heap, _, result = exec ~record:false in
+  let budget, heap, _, result =
+    T.Span.time exec_span (fun () -> exec ~record:false)
+  in
   (match result with
   | Ok () -> ()
   | Error v -> (
+      T.Counter.incr violations_c;
       let info =
         {
           Pc_audit.Report.program = Program.name program;
@@ -148,12 +183,21 @@ let run ?backend ?c ?(check = false) ?(check_every = 64)
          (raising Report.Reported). If the repeat does not reproduce
          the violation — a nondeterministic program — the violation
          propagates as-is, without a bundle. *)
-      match exec ~record:true with
+      match T.Span.time triage_span (fun () -> exec ~record:true) with
       | _, _, Some trace, Error v' when v'.Pc_audit.Oracle.oracle = v.oracle ->
           Pc_audit.Report.capture ?dir:failures_dir ~info ~violation:v ~trace
             ()
       | _ -> raise (Pc_audit.Oracle.Violation v)));
   Heap.check_invariants heap;
+  if !T.Sink.active then begin
+    T.Gauge.set hs_over_m_g
+      (float_of_int (Heap.high_water heap) /. float_of_int m);
+    (match theory_h with
+    | Some floor -> T.Gauge.set theory_floor_g floor
+    | None -> ());
+    T.Gauge.set fragmentation_g
+      (Metrics.external_fragmentation (Metrics.snapshot heap))
+  end;
   Log.info (fun k ->
       k "%s vs %s: HS=%d (%.3f x M), moved %d of %d allocated"
         (Program.name program) (Manager.name manager) (Heap.high_water heap)

@@ -52,6 +52,20 @@ module Exec = struct
   module Engine = Pc_exec.Engine
 end
 
+(* Process-wide instruments: counters, gauges, log2 histograms and
+   nestable spans behind a zero-cost-when-disabled sink, snapshotted
+   into a stable schema for `pc report` *)
+module Telemetry = struct
+  module Sink = Pc_telemetry.Sink
+  module Counter = Pc_telemetry.Counter
+  module Gauge = Pc_telemetry.Gauge
+  module Histogram = Pc_telemetry.Histogram
+  module Span = Pc_telemetry.Span
+  module Registry = Pc_telemetry.Registry
+  module Snapshot = Pc_telemetry.Snapshot
+  module Report = Pc_telemetry.Report
+end
+
 (* Closed-form bounds *)
 module Bounds = struct
   module Robson = Pc_bounds.Robson

@@ -15,7 +15,9 @@
     - closed-form bounds: {!Bounds};
     - the parallel sweep engine with its result cache: {!Exec};
     - self-auditing runs: runtime oracles, the backend-divergence
-      watchdog and trace-shrinking failure triage: {!Audit}. *)
+      watchdog and trace-shrinking failure triage: {!Audit};
+    - process-wide instruments behind a zero-cost-when-disabled sink:
+      {!Telemetry}. *)
 
 module Backend = Pc_heap.Backend
 module Word = Pc_heap.Word
@@ -60,6 +62,23 @@ module Exec : sig
   module Checkpoint = Pc_exec.Checkpoint
   module Faults = Pc_exec.Faults
   module Engine = Pc_exec.Engine
+end
+
+(** Low-overhead process-wide instruments — monotonic counters, gauges,
+    log2 histograms, nestable timed spans — interned by name in
+    {!Telemetry.Registry} and snapshotted into the stable
+    [pc-telemetry/1] schema for [pc report]. Disabled (the default)
+    every instrument is a load-and-branch no-op; levels only observe,
+    so results are bit-identical across them. *)
+module Telemetry : sig
+  module Sink = Pc_telemetry.Sink
+  module Counter = Pc_telemetry.Counter
+  module Gauge = Pc_telemetry.Gauge
+  module Histogram = Pc_telemetry.Histogram
+  module Span = Pc_telemetry.Span
+  module Registry = Pc_telemetry.Registry
+  module Snapshot = Pc_telemetry.Snapshot
+  module Report = Pc_telemetry.Report
 end
 
 module Bounds : sig

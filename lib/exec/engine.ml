@@ -27,6 +27,23 @@ let src = Logs.Src.create "pc.exec" ~doc:"parallel sweep engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Telemetry: resolution mix (journal/cache/executed), transient-retry
+   pressure, and one "job:<digest-prefix>" span per executed job so
+   `pc report` can rank the hottest points of a sweep. Job spans are
+   interned on the main domain before dispatch; each is then written
+   by exactly one worker. *)
+module T = Pc_telemetry
+
+let jobs_c = T.Registry.counter "engine.jobs"
+let executed_c = T.Registry.counter "engine.executed"
+let cache_hits_c = T.Registry.counter "engine.cache_hits"
+let cache_miss_c = T.Registry.counter "engine.cache_misses"
+let cache_invalid_c = T.Registry.counter "engine.cache_invalid"
+let resumed_c = T.Registry.counter "engine.journal_resumed"
+let retries_c = T.Registry.counter "engine.retries"
+let transients_c = T.Registry.counter "engine.transient_failures"
+let failed_c = T.Registry.counter "engine.failed"
+
 type job_result = {
   spec : Spec.t;
   result : (Runner.outcome, string) result;
@@ -106,6 +123,7 @@ let execute_with_retries ?faults ?(retries = 0) ?timeout ?(backoff = 0.1)
       match timeout with Some limit -> attempt_elapsed > limit | None -> false
     in
     let retry_transient reason =
+      T.Counter.incr transients_c;
       if transients < retries then begin
         Log.info (fun k ->
             k "job %s: transient failure (%s) on attempt %d; retrying" digest
@@ -212,6 +230,7 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults
           if results.(i) = None then
             match Cache.lookup ?faults cache spec with
             | Cache.Hit outcome ->
+                T.Counter.incr cache_hits_c;
                 results.(i) <-
                   Some
                     {
@@ -223,9 +242,10 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults
                       elapsed = 0.;
                       bundle = None;
                     }
-            | Cache.Miss -> ()
+            | Cache.Miss -> T.Counter.incr cache_miss_c
             | Cache.Invalid { path; reason } ->
                 Atomic.incr recovered;
+                T.Counter.incr cache_invalid_c;
                 Log.warn (fun k ->
                     k "cache: invalid entry %s (%s); re-executing" path reason))
         specs);
@@ -247,10 +267,32 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults
         n journaled
         (n - Array.length misses - journaled)
         (Array.length misses) (max 1 jobs));
+  (* Job spans are interned up front, on the main domain, so the
+     registry mutex is never contended from the pool and each span has
+     a single writer (its worker). Created only when telemetry is on —
+     a large disabled sweep should not populate the registry. *)
+  let job_spans =
+    if !T.Sink.active then begin
+      let tbl = Hashtbl.create (Array.length misses) in
+      Array.iter
+        (fun i ->
+          let digest = Spec.digest specs.(i) in
+          let short = String.sub digest 0 (min 12 (String.length digest)) in
+          Hashtbl.replace tbl i (T.Registry.span ("job:" ^ short)))
+        misses;
+      Some tbl
+    end
+    else None
+  in
   let exec_one i =
-    let r =
+    let work () =
       execute_with_retries ?faults ?retries ?timeout ?backoff ?audit
         ?failures_dir specs.(i)
+    in
+    let r =
+      match job_spans with
+      | Some tbl -> T.Span.time (Hashtbl.find tbl i) work
+      | None -> work ()
     in
     if r.attempts > 1 then
       ignore (Atomic.fetch_and_add retried (r.attempts - 1));
@@ -291,6 +333,13 @@ let run ?(jobs = 1) ?cache ?checkpoint ?retries ?timeout ?backoff ?faults
       wall = Unix.gettimeofday () -. t0;
     }
   in
+  if !T.Sink.active then begin
+    T.Counter.add jobs_c summary.total;
+    T.Counter.add executed_c summary.executed;
+    T.Counter.add resumed_c summary.resumed;
+    T.Counter.add retries_c summary.retried;
+    T.Counter.add failed_c summary.failed
+  end;
   (results, summary)
 
 let outcome_exn r =

@@ -33,6 +33,21 @@ let largest_gap = function
   | Ref t -> Free_index_ref.largest_gap t
   | Imp t -> Free_index_imp.largest_gap t
 
+(* Telemetry: every placement query is one "search"; the number of
+   gaps alive when it runs bounds the probe work (exact for best/worst
+   fit, which scan all gaps; an upper bound for the first-fit family).
+   The per-gap distribution is only sampled at the [Full] level. *)
+module T = Pc_telemetry
+
+let searches_c = T.Registry.counter "free_index.searches"
+let gaps_h = T.Registry.histogram "free_index.gaps_at_search"
+
+let observe_search t =
+  if !T.Sink.active then begin
+    T.Counter.incr searches_c;
+    if !T.Sink.full_active then T.Histogram.observe gaps_h (gap_count t)
+  end
+
 let is_free t ~addr ~len =
   match t with
   | Ref t -> Free_index_ref.is_free t ~addr ~len
@@ -49,41 +64,49 @@ let release t ~addr ~len =
   | Imp t -> Free_index_imp.release t ~addr ~len
 
 let first_fit t ~size =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.first_fit t ~size
   | Imp t -> Free_index_imp.first_fit t ~size
 
 let first_fit_gap t ~size =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.first_fit_gap t ~size
   | Imp t -> Free_index_imp.first_fit_gap t ~size
 
 let first_fit_from t ~from ~size =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.first_fit_from t ~from ~size
   | Imp t -> Free_index_imp.first_fit_from t ~from ~size
 
 let best_fit_gap t ~size =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.best_fit_gap t ~size
   | Imp t -> Free_index_imp.best_fit_gap t ~size
 
 let worst_fit_gap t ~size =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.worst_fit_gap t ~size
   | Imp t -> Free_index_imp.worst_fit_gap t ~size
 
 let first_aligned_fit t ~size ~align =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.first_aligned_fit t ~size ~align
   | Imp t -> Free_index_imp.first_aligned_fit t ~size ~align
 
 let first_aligned_fit_gap t ~size ~align =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.first_aligned_fit_gap t ~size ~align
   | Imp t -> Free_index_imp.first_aligned_fit_gap t ~size ~align
 
 let first_aligned_fit_from t ~from ~size ~align =
+  observe_search t;
   match t with
   | Ref t -> Free_index_ref.first_aligned_fit_from t ~from ~size ~align
   | Imp t -> Free_index_imp.first_aligned_fit_from t ~from ~size ~align

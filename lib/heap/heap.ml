@@ -13,6 +13,20 @@ type event = Heap_types.event =
 
 type t = Ref of Heap_ref.t | Imp of Heap_imp.t
 
+(* Telemetry: mutation counts and word volumes, shared by both
+   backends because every mutation flows through this front-end. Off
+   costs one load+branch per operation; the [Full] level additionally
+   buckets allocation sizes. *)
+module T = Pc_telemetry
+
+let allocs_c = T.Registry.counter "heap.allocs"
+let alloc_words_c = T.Registry.counter "heap.alloc_words"
+let frees_c = T.Registry.counter "heap.frees"
+let freed_words_c = T.Registry.counter "heap.freed_words"
+let moves_c = T.Registry.counter "heap.moves"
+let moved_words_c = T.Registry.counter "heap.moved_words"
+let alloc_size_h = T.Registry.histogram "heap.alloc_size"
+
 let create ?backend () =
   match
     match backend with Some b -> b | None -> Backend.default ()
@@ -26,14 +40,33 @@ let on_event t f =
   match t with Ref h -> Heap_ref.on_event h f | Imp h -> Heap_imp.on_event h f
 
 let alloc t ~addr ~size =
-  match t with
-  | Ref h -> Heap_ref.alloc h ~addr ~size
-  | Imp h -> Heap_imp.alloc h ~addr ~size
+  let oid =
+    match t with
+    | Ref h -> Heap_ref.alloc h ~addr ~size
+    | Imp h -> Heap_imp.alloc h ~addr ~size
+  in
+  if !T.Sink.active then begin
+    T.Counter.incr allocs_c;
+    T.Counter.add alloc_words_c size;
+    if !T.Sink.full_active then T.Histogram.observe alloc_size_h size
+  end;
+  oid
+
+let size t oid =
+  match t with Ref h -> Heap_ref.size h oid | Imp h -> Heap_imp.size h oid
 
 let free t oid =
+  if !T.Sink.active then begin
+    T.Counter.incr frees_c;
+    T.Counter.add freed_words_c (size t oid)
+  end;
   match t with Ref h -> Heap_ref.free h oid | Imp h -> Heap_imp.free h oid
 
 let move t oid ~dst =
+  if !T.Sink.active then begin
+    T.Counter.incr moves_c;
+    T.Counter.add moved_words_c (size t oid)
+  end;
   match t with
   | Ref h -> Heap_ref.move h oid ~dst
   | Imp h -> Heap_imp.move h oid ~dst
@@ -46,9 +79,6 @@ let get t oid =
 
 let addr t oid =
   match t with Ref h -> Heap_ref.addr h oid | Imp h -> Heap_imp.addr h oid
-
-let size t oid =
-  match t with Ref h -> Heap_ref.size h oid | Imp h -> Heap_imp.size h oid
 
 let live_words = function
   | Ref h -> Heap_ref.live_words h

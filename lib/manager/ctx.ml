@@ -23,13 +23,25 @@ type t = {
   mutable scratch_gen : int;
 }
 
+(* Telemetry: words flowing through the budget — recharge on alloc,
+   drain on move — so snapshots show compaction work against the c·x
+   quota the paper grants per x-word allocation. *)
+module T = Pc_telemetry
+
+let recharge_words_c = T.Registry.counter "manager.budget_recharge_words"
+let compacted_words_c = T.Registry.counter "manager.compacted_words"
+
 let create ?backend ?budget ~live_bound () =
   if live_bound <= 0 then invalid_arg "Ctx.create: non-positive live bound";
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let heap = Heap.create ?backend () in
   Heap.on_event heap (function
-    | Heap.Alloc o -> Budget.on_alloc budget o.size
-    | Heap.Move m -> Budget.charge_move budget m.size
+    | Heap.Alloc o ->
+        Budget.on_alloc budget o.size;
+        if !T.Sink.active then T.Counter.add recharge_words_c o.size
+    | Heap.Move m ->
+        Budget.charge_move budget m.size;
+        if !T.Sink.active then T.Counter.add compacted_words_c m.size
     | Heap.Free _ -> ());
   {
     heap;

@@ -21,6 +21,17 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type candidate = { window_start : int; cost : int }
 
+(* Telemetry: how much window-scanning the compacting managers do and
+   how often it pays off. The window-cost distribution is only
+   sampled at the [Full] level. *)
+module T = Pc_telemetry
+
+let candidates_c = T.Registry.counter "evict.candidates_scanned"
+let attempts_c = T.Registry.counter "evict.attempts"
+let cleared_c = T.Registry.counter "evict.windows_cleared"
+let evicted_words_c = T.Registry.counter "evict.evicted_words"
+let window_cost_h = T.Registry.histogram "evict.window_cost"
+
 (* Cost of clearing the aligned [size]-word window at [start]: total
    size of the live objects intersecting it (straddlers count fully —
    they must be moved whole). *)
@@ -56,6 +67,10 @@ let candidates_capped ?(max_gaps = 64) ~cost_cap ctx ~size ~align =
         let cost =
           Heap.clear_cost heap ~start ~stop:(start + size) ~cap:cost_cap
         in
+        if !T.Sink.active then begin
+          T.Counter.incr candidates_c;
+          if !T.Sink.full_active then T.Histogram.observe window_cost_h cost
+        end;
         cands := { window_start = start; cost } :: !cands
       end
     end
@@ -125,6 +140,7 @@ let try_evict ?(max_attempts = 3) ?max_gaps ?relocate ctx ~size ~align
       |> List.filter (fun c -> c.cost <= cap)
   in
   let attempt { window_start; _ } =
+    T.Counter.incr attempts_c;
     let avoid = Interval.of_extent ~start:window_start ~len:size in
     let objs =
       Heap.objects_in heap ~start:window_start ~stop:(window_start + size)
@@ -137,6 +153,7 @@ let try_evict ?(max_attempts = 3) ?max_gaps ?relocate ctx ~size ~align
           match relocate ctx ~avoid o with
           | Some dst ->
               Heap.move heap o.oid ~dst;
+              T.Counter.add evicted_words_c o.size;
               true
           | None -> false)
         objs
@@ -154,6 +171,7 @@ let try_evict ?(max_attempts = 3) ?max_gaps ?relocate ctx ~size ~align
   let result = first_success max_attempts candidates in
   (match result with
   | Some a ->
+      T.Counter.incr cleared_c;
       Log.debug (fun k ->
           k "cleared window [%d,%d) (budget left %d)" a (a + size)
             (Budget.available budget))

@@ -1,0 +1,18 @@
+(* Monotonic counters. Single-writer per domain in practice: the hot
+   instruments live in domain-local simulation state, and the engine's
+   cross-domain aggregates are folded into counters on the main domain
+   after the pool drains — so plain mutable ints suffice, and the
+   disabled path is one load and an untaken branch. *)
+
+type t = { name : string; mutable value : int }
+
+let v name = { name; value = 0 }
+let name t = t.name
+let value t = t.value
+let[@inline] incr t = if !Sink.active then t.value <- t.value + 1
+let[@inline] add t n = if !Sink.active then t.value <- t.value + n
+
+(* [set] is for folding externally-maintained totals (the engine's
+   atomics) into a counter at snapshot time. *)
+let set t n = if !Sink.active then t.value <- n
+let reset t = t.value <- 0

@@ -1,0 +1,15 @@
+(** Monotonic counters — no-ops while telemetry is disabled. Create
+    through {!Registry.counter} so snapshots see them. *)
+
+type t
+
+val v : string -> t
+(** Unregistered constructor (used by {!Registry}); prefer
+    [Registry.counter]. *)
+
+val name : t -> string
+val value : t -> int
+val incr : t -> unit
+val add : t -> int -> unit
+val set : t -> int -> unit
+val reset : t -> unit

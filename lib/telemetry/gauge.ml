@@ -1,0 +1,20 @@
+(* Last-value-wins float gauges (HS/M, theory floors, ratios). A gauge
+   that was never set while telemetry was enabled is omitted from
+   snapshots. *)
+
+type t = { name : string; mutable value : float; mutable assigned : bool }
+
+let v name = { name; value = 0.0; assigned = false }
+let name t = t.name
+let value t = t.value
+let is_set t = t.assigned
+
+let[@inline] set t x =
+  if !Sink.active then begin
+    t.value <- x;
+    t.assigned <- true
+  end
+
+let reset t =
+  t.value <- 0.0;
+  t.assigned <- false

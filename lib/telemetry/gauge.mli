@@ -1,0 +1,15 @@
+(** Last-value-wins float gauges — no-ops while telemetry is disabled.
+    Create through {!Registry.gauge} so snapshots see them. *)
+
+type t
+
+val v : string -> t
+val name : t -> string
+val value : t -> float
+
+val is_set : t -> bool
+(** [false] until {!set} runs with telemetry enabled; unset gauges are
+    omitted from snapshots. *)
+
+val set : t -> float -> unit
+val reset : t -> unit

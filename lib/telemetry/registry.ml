@@ -1,0 +1,99 @@
+(* Process-wide instrument registry. Creation is idempotent by name
+   (the same name always returns the same instrument) and serialised
+   by a mutex so instruments can be created lazily from any domain;
+   the hot path of an instrument itself never touches the registry. *)
+
+let lock = Mutex.create ()
+let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, Gauge.t) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+let spans : (string, Span.t) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let intern tbl make name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+          let x = make name in
+          Hashtbl.add tbl name x;
+          x)
+
+let counter name = intern counters Counter.v name
+let gauge name = intern gauges Gauge.v name
+let histogram name = intern histograms Histogram.v name
+let span name = intern spans Span.v name
+
+let set_level = Sink.set
+let level = Sink.level
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Counter.reset c) counters;
+      Hashtbl.iter (fun _ g -> Gauge.reset g) gauges;
+      Hashtbl.iter (fun _ h -> Histogram.reset h) histograms;
+      Hashtbl.iter (fun _ s -> Span.reset s) spans);
+  Span.reset_stack ()
+
+let sorted_values tbl name_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (name_of a) (name_of b))
+
+let snapshot () =
+  with_lock (fun () ->
+      let counters =
+        sorted_values counters Counter.name
+        |> List.filter_map (fun c ->
+               let v = Counter.value c in
+               if v = 0 then None else Some (Counter.name c, v))
+      in
+      let gauges =
+        sorted_values gauges Gauge.name
+        |> List.filter_map (fun g ->
+               if Gauge.is_set g then Some (Gauge.name g, Gauge.value g)
+               else None)
+      in
+      let histograms =
+        sorted_values histograms Histogram.name
+        |> List.filter_map (fun h ->
+               if Histogram.count h = 0 then None
+               else
+                 let buckets = ref [] in
+                 Histogram.iter_buckets h (fun k c ->
+                     let lo, hi = Histogram.bucket_bounds k in
+                     buckets := (lo, hi, c) :: !buckets);
+                 Some
+                   {
+                     Snapshot.h_name = Histogram.name h;
+                     h_count = Histogram.count h;
+                     h_zeros = Histogram.zeros h;
+                     h_sum = Histogram.sum h;
+                     h_min = Histogram.min_value h;
+                     h_max = Histogram.max_value h;
+                     h_buckets = List.rev !buckets;
+                   })
+      in
+      let spans =
+        sorted_values spans Span.name
+        |> List.filter_map (fun s ->
+               if Span.count s = 0 then None
+               else
+                 Some
+                   {
+                     Snapshot.s_name = Span.name s;
+                     s_count = Span.count s;
+                     s_total = Span.total s;
+                     s_self = Span.self s;
+                     s_max = Span.max_interval s;
+                   })
+      in
+      {
+        Snapshot.level = Sink.to_string (Sink.level ());
+        counters;
+        gauges;
+        histograms;
+        spans;
+      })

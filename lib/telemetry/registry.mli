@@ -1,0 +1,23 @@
+(** Process-wide instrument registry.
+
+    Instruments are interned by name: the first call creates, later
+    calls (from any domain) return the same instrument. Keep the
+    returned value in a [let] near the code it instruments — lookup is
+    mutex-protected and not meant for hot paths. *)
+
+val counter : string -> Counter.t
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+val span : string -> Span.t
+
+val set_level : Sink.level -> unit
+val level : unit -> Sink.level
+
+val reset : unit -> unit
+(** Zero every registered instrument (instruments stay registered) and
+    clear this domain's span stack. *)
+
+val snapshot : unit -> Snapshot.t
+(** Capture every instrument with activity, sorted by name. Zero
+    counters, unset gauges, and empty histograms/spans are omitted so
+    the snapshot only reflects what actually ran. *)

@@ -1,0 +1,86 @@
+(* Human-readable rendering of a snapshot: per-phase span breakdown
+   with ASCII bars, the top-k hottest per-job spans (the engine names
+   them "job:<digest-prefix>..."), then counters, gauges and
+   histograms. Powers `pc report`. *)
+
+let bar_width = 28
+
+let bar frac =
+  let n =
+    int_of_float (Float.round (frac *. float_of_int bar_width))
+    |> Int.max 0 |> Int.min bar_width
+  in
+  String.make n '#' ^ String.make (bar_width - n) ' '
+
+let is_job s = String.length s.Snapshot.s_name >= 4 && String.sub s.s_name 0 4 = "job:"
+
+let pp_duration ppf s =
+  if s >= 1.0 then Format.fprintf ppf "%8.3f s " s
+  else if s >= 1e-3 then Format.fprintf ppf "%8.3f ms" (s *. 1e3)
+  else Format.fprintf ppf "%8.1f us" (s *. 1e6)
+
+let pp_spans ppf title spans =
+  if spans <> [] then begin
+    let total_of s = s.Snapshot.s_total in
+    let sorted = List.sort (fun a b -> compare (total_of b) (total_of a)) spans in
+    let max_total = total_of (List.hd sorted) in
+    let denom = if max_total > 0.0 then max_total else 1.0 in
+    Format.fprintf ppf "@,%s@," title;
+    Format.fprintf ppf "  %-32s %10s %10s %10s %10s@," "span" "count" "total"
+      "self" "max";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-32s %10d %a %a %a  %s@," s.Snapshot.s_name
+          s.s_count pp_duration s.s_total pp_duration s.s_self pp_duration
+          s.s_max
+          (bar (s.s_total /. denom)))
+      sorted
+  end
+
+let pp_histogram ppf h =
+  Format.fprintf ppf "  %-32s count %d  zeros %d  sum %d  min %d  max %d@,"
+    h.Snapshot.h_name h.h_count h.h_zeros h.h_sum h.h_min h.h_max;
+  let max_c =
+    List.fold_left (fun acc (_, _, c) -> Int.max acc c) 1 h.h_buckets
+  in
+  List.iter
+    (fun (lo, hi, c) ->
+      let hi_s = if hi = max_int then "inf" else string_of_int hi in
+      Format.fprintf ppf "    [%10d, %10s) %10d  %s@," lo hi_s c
+        (bar (float_of_int c /. float_of_int max_c)))
+    h.h_buckets
+
+let pp ?(top = 5) ppf (t : Snapshot.t) =
+  Format.pp_open_vbox ppf 0;
+  Format.fprintf ppf "telemetry snapshot (%s, level=%s)@," Snapshot.schema
+    t.level;
+  let jobs, phases = List.partition is_job t.spans in
+  pp_spans ppf "phases:" phases;
+  (if jobs <> [] then
+     let sorted =
+       List.sort (fun a b -> compare b.Snapshot.s_total a.Snapshot.s_total) jobs
+     in
+     let k = Int.min top (List.length sorted) in
+     let hottest = List.filteri (fun i _ -> i < k) sorted in
+     pp_spans ppf
+       (Printf.sprintf "hottest jobs (top %d of %d):" k (List.length jobs))
+       hottest);
+  if t.counters <> [] then begin
+    Format.fprintf ppf "@,counters:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12d@," name v)
+      t.counters
+  end;
+  if t.gauges <> [] then begin
+    Format.fprintf ppf "@,gauges:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12.4f@," name v)
+      t.gauges
+  end;
+  if t.histograms <> [] then begin
+    Format.fprintf ppf "@,histograms:@,";
+    List.iter (pp_histogram ppf) t.histograms
+  end;
+  Format.pp_close_box ppf ()
+
+let to_string ?top t = Format.asprintf "%a" (fun ppf -> pp ?top ppf) t

@@ -1,0 +1,8 @@
+(** Human-readable snapshot rendering: per-phase span breakdown with
+    ASCII bars, top-k hottest ["job:*"] spans, counters, gauges and
+    histograms. Backs the [pc report] subcommand. *)
+
+val pp : ?top:int -> Format.formatter -> Snapshot.t -> unit
+(** [top] bounds the hottest-jobs table (default 5). *)
+
+val to_string : ?top:int -> Snapshot.t -> string

@@ -1,0 +1,32 @@
+(** Nestable timed spans aggregated per span value — no-ops while
+    telemetry is disabled. The nesting stack is domain-local. Create
+    through {!Registry.span} so snapshots see them. *)
+
+type t
+
+val v : string -> t
+val name : t -> string
+val count : t -> int
+
+val total : t -> float
+(** Inclusive seconds (nested spans counted). *)
+
+val self : t -> float
+(** [total] minus the time spent in spans nested inside this one. *)
+
+val max_interval : t -> float
+
+val enter : t -> unit
+
+val exit_ : t -> unit
+(** Pops the matching frame; a mismatched exit (telemetry enabled
+    mid-span) is dropped silently. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time span f] runs [f] inside the span, exception-safe. *)
+
+val depth : unit -> int
+(** Current nesting depth on this domain's stack (for tests). *)
+
+val reset : t -> unit
+val reset_stack : unit -> unit

@@ -1,0 +1,67 @@
+(* Shared test fixtures. Seeds are fixed here so every suite exercises
+   the same deterministic workloads — a failure in one suite reproduces
+   verbatim from another. *)
+
+open Pc_manager
+open Pc_adversary
+open Pc_exec
+
+(* Default seeds, shared across suites. *)
+let churn_seed = 11
+let alt_churn_seed = 13
+
+(* The standard random-churn workload (managers, telemetry suites). *)
+let churn_program ~m ~seed =
+  Random_workload.program ~seed ~churn:2_000 ~m
+    ~dist:(Random_workload.Pow2 { lo_log = 0; hi_log = 5 }) ~target_live:(m / 2)
+    ()
+
+(* Run the standard churn against a registry manager. *)
+let run_churn ?c key seed =
+  let manager = Registry.construct_exn key in
+  let program = churn_program ~m:4096 ~seed in
+  Runner.run ?c ~program ~manager ()
+
+(* A fresh unlimited-budget context over a hand-buildable heap. *)
+let with_ctx f =
+  let ctx = Ctx.create ~live_bound:4096 () in
+  f ctx (Ctx.heap ctx)
+
+(* A named one-shot program around a run closure. *)
+let simple_program ~live_bound ~max_size run =
+  Program.make ~name:"test" ~live_bound ~max_size run
+
+(* Outcome equality down to the float fields — the engine suites pin
+   bit-identical results across worker counts and cache round-trips. *)
+let outcome : Runner.outcome Alcotest.testable =
+  Alcotest.testable (fun ppf o -> Runner.pp_outcome ppf o) ( = )
+
+let outcomes results = List.map Engine.outcome_exn results
+
+(* A small PF/Robson/churn grid touching moving and non-moving
+   managers — the standard sweep fixture. *)
+let grid () =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun manager -> Spec.pf ~c ~manager ~m:(1 lsl 12) ~n:(1 lsl 6) ())
+        [ "compacting"; "improved-ac"; "first-fit" ])
+    [ 8.0; 16.0 ]
+  @ List.map
+      (fun manager -> Spec.robson ~manager ~m:(1 lsl 12) ~n:(1 lsl 5) ())
+      [ "first-fit"; "buddy" ]
+  @ [
+      Spec.random_churn ~seed:churn_seed ~churn:500 ~c:8.0 ~manager:"best-fit"
+        ~m:(1 lsl 10)
+        ~dist:(Random_workload.Pow2 { lo_log = 0; hi_log = 4 })
+        ~target_live:(1 lsl 9) ();
+    ]
+
+(* Process-unique temp directories (cache/journal isolation). *)
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pc_test_%d_%d" (Unix.getpid ()) !counter)

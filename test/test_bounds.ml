@@ -153,6 +153,49 @@ let test_stage2_fraction () =
       | None -> Alcotest.fail "expected x")
   | None -> Alcotest.fail "expected best"
 
+(* ------------------------------------------------------------------ *)
+(* Empirical: the closed forms against measured heaps                 *)
+
+let test_theorem2_ceiling_empirical () =
+  (* At the churn fixture's scale (M = 4096, n = 32, so log2 n = 5)
+     any c > 2.5 satisfies Theorem 2's side condition. No registry
+     manager — moving or not — may exceed the ceiling on the standard
+     churn workload. *)
+  let m = 4096 and n = 32 in
+  let c = 4.0 in
+  Alcotest.(check bool) "side condition holds" true
+    (Theorem2.applicable ~n ~c);
+  let ceiling = Theorem2.upper_bound ~m ~n ~c in
+  List.iter
+    (fun (e : Pc_manager.Registry.entry) ->
+      let o = Helpers.run_churn ~c e.key Helpers.churn_seed in
+      Alcotest.(check bool)
+        (Fmt.str "%s: HS %d under ceiling %.0f" e.key o.hs ceiling)
+        true
+        (float_of_int o.hs <= ceiling))
+    Pc_manager.Registry.entries
+
+let test_pf_drives_first_fit_above_floor () =
+  (* Theorem 1 is a lower bound for compaction-capable managers; a
+     non-moving first fit has no budget to spend, so PF must push it
+     at least as high as the floor — the adversary really bites. *)
+  let m = 1 lsl 14 and n = 1 lsl 7 in
+  List.iter
+    (fun c ->
+      let h = Cohen_petrank.waste_factor ~m ~n ~c in
+      Alcotest.(check bool) (Fmt.str "floor non-trivial at c=%g" c) true
+        (h > 1.0);
+      let _, program = Pc_adversary.Pf.program ~m ~n ~c () in
+      let o =
+        Pc_adversary.Runner.run ~c ~program
+          ~manager:(Pc_manager.Registry.construct_exn "first-fit")
+          ()
+      in
+      Alcotest.(check bool)
+        (Fmt.str "HS/M %.3f above floor %.3f at c=%g" o.hs_over_m h c)
+        true (o.hs_over_m >= h))
+    [ 8.0; 16.0; 32.0 ]
+
 let test_logf () =
   Alcotest.(check int) "log2_exact" 10 (Logf.log2_exact 1024);
   Alcotest.check_raises "non-pow2"
@@ -193,6 +236,13 @@ let () =
           Alcotest.test_case "Robson formulas" `Quick test_robson_formulas;
           Alcotest.test_case "BP upper" `Quick test_bp_upper;
           Alcotest.test_case "logf" `Quick test_logf;
+        ] );
+      ( "empirical",
+        [
+          Alcotest.test_case "Theorem 2 ceiling holds for every manager"
+            `Quick test_theorem2_ceiling_empirical;
+          Alcotest.test_case "PF pushes first fit above the Theorem 1 floor"
+            `Quick test_pf_drives_first_fit_above_floor;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -8,20 +8,12 @@ open Pc_adversary
    Random churn workloads exercise all of that end to end; additional
    unit tests pin down each policy's distinctive placement choices. *)
 
-let churn_program ~m ~seed =
-  Random_workload.program ~seed ~churn:2_000 ~m
-    ~dist:(Random_workload.Pow2 { lo_log = 0; hi_log = 5 }) ~target_live:(m / 2)
-    ()
-
-let run_churn ?c key seed =
-  let manager = Registry.construct_exn key in
-  let program = churn_program ~m:4096 ~seed in
-  Runner.run ?c ~program ~manager ()
+let run_churn = Helpers.run_churn
 
 let test_all_managers_churn () =
   List.iter
     (fun (e : Registry.entry) ->
-      let o = run_churn ~c:8.0 e.key 11 in
+      let o = run_churn ~c:8.0 e.key Helpers.churn_seed in
       Alcotest.(check bool)
         (e.key ^ " compliant") true o.compliant;
       Alcotest.(check bool)
@@ -33,7 +25,7 @@ let test_non_moving_never_move () =
   List.iter
     (fun (e : Registry.entry) ->
       if not e.moving then begin
-        let o = run_churn ~c:2.0 e.key 13 in
+        let o = run_churn ~c:2.0 e.key Helpers.alt_churn_seed in
         Alcotest.(check int) (e.key ^ " moved nothing") 0 o.moved
       end)
     Registry.entries
@@ -41,9 +33,7 @@ let test_non_moving_never_move () =
 (* ------------------------------------------------------------------ *)
 (* Placement-policy unit tests on hand-built heaps                    *)
 
-let with_ctx f =
-  let ctx = Ctx.create ~live_bound:4096 () in
-  f ctx (Ctx.heap ctx)
+let with_ctx = Helpers.with_ctx
 
 let test_first_fit_policy () =
   with_ctx (fun ctx heap ->

@@ -6,8 +6,7 @@ open Pc_adversary
    move notifications, runner accounting, the view's ghost discipline,
    and random-workload determinism. *)
 
-let simple_program ~live_bound ~max_size run =
-  Program.make ~name:"test" ~live_bound ~max_size run
+let simple_program = Helpers.simple_program
 
 let test_live_bound_enforced () =
   let program =

@@ -5,38 +5,10 @@
 
 open Pc_exec
 
-let outcome : Pc_adversary.Runner.outcome Alcotest.testable =
-  Alcotest.testable
-    (fun ppf o -> Pc_adversary.Runner.pp_outcome ppf o)
-    ( = )
-
-(* A small PF/Robson grid touching moving and non-moving managers. *)
-let grid () =
-  List.concat_map
-    (fun c ->
-      List.map
-        (fun manager -> Spec.pf ~c ~manager ~m:(1 lsl 12) ~n:(1 lsl 6) ())
-        [ "compacting"; "improved-ac"; "first-fit" ])
-    [ 8.0; 16.0 ]
-  @ List.map
-      (fun manager -> Spec.robson ~manager ~m:(1 lsl 12) ~n:(1 lsl 5) ())
-      [ "first-fit"; "buddy" ]
-  @ [
-      Spec.random_churn ~seed:11 ~churn:500 ~c:8.0 ~manager:"best-fit"
-        ~m:(1 lsl 10)
-        ~dist:(Pc_adversary.Random_workload.Pow2 { lo_log = 0; hi_log = 4 })
-        ~target_live:(1 lsl 9) ();
-    ]
-
-let outcomes results = List.map Engine.outcome_exn results
-
-let fresh_dir =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "pc_sweep_test_%d_%d" (Unix.getpid ()) !counter)
+let outcome = Helpers.outcome
+let grid = Helpers.grid
+let outcomes = Helpers.outcomes
+let fresh_dir = Helpers.fresh_dir
 
 let test_parallel_matches_sequential () =
   let specs = grid () in
