@@ -36,6 +36,8 @@
      sim-average random-workload fragmentation per manager
      sim-fig1    measured waste-vs-c curve (the simulated Figure 1)
      ablation    design-choice ablations A1-A4 (see EXPERIMENTS.md)
+     sim-zoo     literature managers (meshing, compact-fit,
+                 cost-oblivious, polylog-realloc) vs the paper's bounds
 *)
 
 open Pc_core
@@ -284,7 +286,7 @@ let sim_average opts =
   in
   line "=== Table S3: random churn (M=%d): fragmentation by manager ===" m;
   line "    (average case — far from the adversarial worst case)";
-  let keys = List.map (fun (e : Pc.Managers.entry) -> e.key) Pc.Managers.entries in
+  let keys = List.map (fun (e : Pc.Managers.entry) -> e.key) (Pc.Managers.entries ()) in
   let find = run_sweep opts "sim-average" (List.map spec keys) in
   line "%-12s %10s %10s %10s" "manager" "HS/M" "HS/live" "moved";
   List.iter
@@ -346,7 +348,7 @@ let ablation opts =
   let moving =
     List.filter_map
       (fun (e : Pc.Managers.entry) -> if e.moving then Some e.key else None)
-      Pc.Managers.entries
+      (Pc.Managers.entries ())
   in
   let specs =
     List.map (fun ell -> spec ~ell ~manager:"compacting" 32.0) a1_ells
@@ -411,6 +413,131 @@ let ablation opts =
              else "(BELOW FLOOR?)")
       | Error msg -> line "    %-12s failed: %s" key msg)
     moving
+
+(* ------------------------------------------------------------------ *)
+(* Table S4: the literature zoo vs the paper's bounds                  *)
+
+(* The four managers adapted from the related literature (meshing,
+   compact-fit, cost-oblivious resizing, polylog reallocation), run
+   against the same three workloads as the classics — PF at two cs,
+   Robson's PR, and random churn — and reported next to the Theorem 1
+   floor and the Theorem 2 ceiling. Every point also lands as a row in
+   the --json report's "zoo" list, so BENCH_results.json tracks
+   HS/M-vs-bounds for the zoo PR-over-PR. *)
+
+let zoo_managers =
+  [ "meshing"; "compact-fit"; "cost-oblivious"; "polylog-realloc" ]
+
+let zoo_records : Json.t list ref = ref []
+
+let record_zoo ?c ?floor ?ceiling ?robson ~workload ~manager ~m ~n
+    (o : Pc.Runner.outcome) =
+  let opt = function Some v -> Json.Float v | None -> Json.Null in
+  zoo_records :=
+    Json.Obj
+      [
+        ("workload", Json.String workload);
+        ("manager", Json.String manager);
+        ("m", Json.Int m);
+        ("n", Json.Int n);
+        ("c", opt c);
+        ("hs", Json.Int o.hs);
+        ("hs_over_m", Json.Float o.hs_over_m);
+        ("moved", Json.Int o.moved);
+        ("theorem1_floor", opt floor);
+        ("theorem2_ceiling", opt ceiling);
+        ("robson_bound", opt robson);
+        ("compliant", Json.Bool o.compliant);
+      ]
+    :: !zoo_records
+
+let sim_zoo opts =
+  let m, n = if opts.small then (1 lsl 14, 1 lsl 7) else (1 lsl 16, 1 lsl 8) in
+  let cs = [ 8.0; 16.0 ] in
+  let churn = if opts.small then 5_000 else 20_000 in
+  let churn_n = 1 lsl 6 in
+  let pf_spec c manager = Spec.pf ~c ~manager ~m ~n () in
+  let robson_spec manager = Spec.robson ~c:8.0 ~manager ~m ~n () in
+  let churn_spec manager =
+    Spec.random_churn ~seed:7 ~churn ~c:8.0 ~manager ~m
+      ~dist:(Pc.Random_workload.Pow2 { lo_log = 0; hi_log = 6 })
+      ~target_live:(m / 2) ()
+  in
+  line "=== Table S4: literature zoo vs the paper's bounds (M=%d, n=%d) ===" m
+    n;
+  line
+    "    (meshing / compact-fit / cost-oblivious / polylog-realloc; Theorem \
+     1 floors every c-partial manager, Theorem 2 caps what compaction must \
+     achieve)";
+  let find =
+    run_sweep opts "sim-zoo"
+      (List.concat_map (fun c -> List.map (pf_spec c) zoo_managers) cs
+      @ List.map robson_spec zoo_managers
+      @ List.map churn_spec zoo_managers)
+  in
+  line "";
+  line "    PF adversary: HS/M per manager";
+  line "%6s %8s %8s | %8s %12s %15s %16s" "c" "floor" "T2 cap" "meshing"
+    "compact-fit" "cost-oblivious" "polylog-realloc";
+  List.iter
+    (fun c ->
+      let floor = Pc.Bounds.Cohen_petrank.waste_factor ~m ~n ~c in
+      let ceiling =
+        if Pc.Bounds.Theorem2.applicable ~n ~c then
+          Some (Pc.Bounds.Theorem2.waste_factor ~m ~n ~c)
+        else None
+      in
+      let v manager =
+        match find (pf_spec c manager) with
+        | Ok o ->
+            record_zoo ~workload:"pf" ~manager ~m ~n ~c ~floor ?ceiling o;
+            o.hs_over_m
+        | Error _ -> Float.nan
+      in
+      line "%6.0f %8.3f %8s | %8.3f %12.3f %15.3f %16.3f" c floor
+        (match ceiling with Some u -> Fmt.str "%.1f" u | None -> "-")
+        (v "meshing") (v "compact-fit") (v "cost-oblivious")
+        (v "polylog-realloc"))
+    cs;
+  line "";
+  line "    PR adversary (Robson, c = 8): HS/M per manager";
+  let robson_bound = Pc.Bounds.Robson.waste_factor_pow2 ~m ~n in
+  line "    (Robson's matching bound for non-moving managers: %.3f)"
+    robson_bound;
+  List.iter
+    (fun manager ->
+      match find (robson_spec manager) with
+      | Ok o ->
+          record_zoo ~workload:"robson" ~manager ~m ~n ~c:8.0
+            ~robson:robson_bound o;
+          line "    %-16s HS/M=%6.3f  moved=%d" manager o.hs_over_m o.moved
+      | Error msg -> line "    %-16s failed: %s" manager msg)
+    zoo_managers;
+  line "";
+  line "    random churn (seed 7, c = 8, sizes <= %d): HS/M per manager"
+    churn_n;
+  let churn_floor =
+    Pc.Bounds.Cohen_petrank.waste_factor ~m ~n:churn_n ~c:8.0
+  in
+  let churn_ceiling =
+    if Pc.Bounds.Theorem2.applicable ~n:churn_n ~c:8.0 then
+      Some (Pc.Bounds.Theorem2.waste_factor ~m ~n:churn_n ~c:8.0)
+    else None
+  in
+  line "    (adversarial floor h = %.3f — average case sits below it)"
+    churn_floor;
+  List.iter
+    (fun manager ->
+      match find (churn_spec manager) with
+      | Ok o ->
+          record_zoo ~workload:"churn" ~manager ~m ~n:churn_n ~c:8.0
+            ~floor:churn_floor ?ceiling:churn_ceiling o;
+          line "    %-16s HS/M=%6.3f  HS/live=%6.3f  moved=%d" manager
+            o.hs_over_m
+            (float_of_int o.hs /. float_of_int (max 1 o.final_live))
+            o.moved
+      | Error msg -> line "    %-16s failed: %s" manager msg)
+    zoo_managers
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings: one Test per experiment generator                *)
@@ -515,6 +642,7 @@ let write_json opts =
             ( "experiments",
               Json.List (List.map (fun s -> Json.String s) opts.selected) );
             ("sweeps", Json.List (List.rev !sweep_records));
+            ("zoo", Json.List (List.rev !zoo_records));
             ("timings", Json.List (List.rev !timing_records));
             ( "telemetry",
               if opts.telemetry = Pc.Telemetry.Sink.Off then Json.Null
@@ -663,6 +791,7 @@ let main () =
   if wants "sim-average" then sim_average opts;
   if wants "sim-fig1" then sim_fig1 opts;
   if wants "ablation" then ablation opts;
+  if wants "sim-zoo" then sim_zoo opts;
   if (not opts.no_timing) && (opts.selected = [] || wants "timings") then
     timings ();
   write_json opts;

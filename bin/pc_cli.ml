@@ -54,7 +54,7 @@ let c_arg =
     & info [ "c" ] ~docv:"C" ~doc:"Compaction bound: at most 1/c of allocated words may be moved.")
 
 let manager_arg =
-  let keys = String.concat ", " Pc.Managers.keys in
+  let keys = String.concat ", " (Pc.Managers.keys ()) in
   Arg.(
     value & opt string "compacting"
     & info [ "manager" ] ~docv:"NAME" ~doc:("Memory manager: " ^ keys ^ "."))
@@ -780,10 +780,10 @@ let managers_cmd =
   let run () =
     List.iter
       (fun (e : Pc.Managers.entry) ->
-        Fmt.pr "%-12s %-7s %s@." e.key
+        Fmt.pr "%-16s %-7s %s@." e.key
           (if e.moving then "moving" else "static")
           e.summary)
-      Pc.Managers.entries
+      (Pc.Managers.entries ())
   in
   Cmd.v
     (Cmd.info "managers" ~exits ~doc:"List the available memory managers.")

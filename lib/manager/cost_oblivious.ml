@@ -1,0 +1,184 @@
+open Pc_heap
+
+(* Cost-oblivious storage reallocation (Bender, Farach-Colton, Fekete,
+   Fineman, Gilbert, "Cost-oblivious storage reallocation", arXiv
+   1404.2019), simplified to the paper's model. Each power-of-two size
+   class owns one *bucket*: a contiguous slotted arena. A full bucket
+   is resized — an arena of twice the capacity is sited elsewhere and
+   the class's objects migrate into it compactly. The scheme is
+   cost-oblivious in the paper's sense: resizes happen on a doubling
+   schedule driven purely by occupancy, never by inspecting what a
+   particular placement will cost; the moves are paid for by the
+   allocation volume accumulated since the class last resized, which
+   is exactly the s/c recharge of the c-partial budget. When the
+   budget has not recharged enough the resize is postponed and the
+   allocation overflows to free space outside every bucket, until a
+   later resize can afford to restart the class compactly.
+
+   Bucket arenas reserve their free slots (slot padding included), so
+   every placement query must skip extents overlapping an owned arena
+   — a gap in the free index may still be bucket-reserved. Empty
+   buckets are dropped eagerly, shrinking the class back to its
+   initial capacity at the next allocation. *)
+
+module Int_map = Map.Make (Int)
+
+type arena = {
+  base : int;
+  class_ : int; (* log2 of slot size *)
+  cap : int; (* slots *)
+  slots : Bytes.t; (* slot occupancy bitmap, one byte per slot *)
+  mutable used : int;
+}
+
+type state = {
+  init_slots : int;
+  mutable arenas : arena option array; (* class -> current bucket *)
+}
+
+let max_class = 62
+let slot_size class_ = Word.pow2 class_
+let arena_words a = a.cap * slot_size a.class_
+
+let create_state ~init_slots =
+  if init_slots < 1 then
+    invalid_arg "Cost_oblivious.make: init_slots must be positive";
+  { init_slots; arenas = Array.make max_class None }
+
+(* End of the first owned arena overlapping [addr, addr+size), if
+   any. Deterministic: arenas are scanned in class order. *)
+let overlapping state addr size =
+  let stop = addr + size in
+  let found = ref None in
+  Array.iter
+    (function
+      | Some a when !found = None ->
+          let a_stop = a.base + arena_words a in
+          if addr < a_stop && a.base < stop then found := Some a_stop
+      | _ -> ())
+    state.arenas;
+  !found
+
+(* Lowest [align]-divisible address of a [size]-word extent that is
+   both free and outside every owned arena. *)
+let site state ctx ~size ~align =
+  let free = Ctx.free_index ctx in
+  let rec in_gaps from =
+    match Free_index.first_aligned_fit_from free ~from ~size ~align with
+    | None -> None
+    | Some a -> (
+        match overlapping state a size with
+        | None -> Some a
+        | Some stop -> in_gaps (Word.align_up stop ~align))
+  in
+  let rec at_tail a =
+    match overlapping state a size with
+    | None -> a
+    | Some stop -> at_tail (Word.align_up stop ~align)
+  in
+  match in_gaps 0 with
+  | Some a -> a
+  | None -> at_tail (Word.align_up (Free_index.frontier free) ~align)
+
+(* Double (or found) the class's bucket and migrate its objects,
+   oldest address first; [None] when the budget cannot pay yet. *)
+let resize state ctx class_ =
+  let heap = Ctx.heap ctx in
+  let slot = slot_size class_ in
+  let old = state.arenas.(class_) in
+  let cost =
+    match old with
+    | None -> 0
+    | Some a -> Evict.window_cost heap ~start:a.base ~size:(arena_words a)
+  in
+  if not (Budget.can_move (Ctx.budget ctx) cost) then None
+  else begin
+    let cap =
+      match old with None -> state.init_slots | Some a -> a.cap * 2
+    in
+    let base = site state ctx ~size:(cap * slot) ~align:slot in
+    let slots = Bytes.make cap '\000' in
+    let migrants =
+      match old with
+      | None -> []
+      | Some a ->
+          Heap.objects_in heap ~start:a.base ~stop:(a.base + arena_words a)
+    in
+    List.iteri
+      (fun i (o : Heap.obj) ->
+        Heap.move heap o.oid ~dst:(base + (i * slot));
+        Bytes.set slots i '\001')
+      migrants;
+    let a =
+      { base; class_; cap; slots; used = List.length migrants }
+    in
+    state.arenas.(class_) <- Some a;
+    Some a
+  end
+
+let find_free_slot a =
+  let rec loop i =
+    if i >= a.cap then invalid_arg "Cost_oblivious: no free slot in bucket"
+    else if Bytes.get a.slots i = '\000' then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let make ?(init_slots = 4) () =
+  let state = create_state ~init_slots in
+  let alloc ctx ~size =
+    let class_ = Word.log2_ceil (max 1 size) in
+    let arena =
+      match state.arenas.(class_) with
+      | Some a when a.used < a.cap -> Some a
+      | _ -> resize state ctx class_
+    in
+    match arena with
+    | Some a ->
+        let slot = find_free_slot a in
+        Bytes.set a.slots slot '\001';
+        a.used <- a.used + 1;
+        a.base + (slot * slot_size class_)
+    | None ->
+        (* Resize postponed: overflow outside every bucket; no
+           bookkeeping — the extent dies with the object. *)
+        let free = Ctx.free_index ctx in
+        let rec in_gaps from =
+          match Free_index.first_fit_from free ~from ~size with
+          | None -> None
+          | Some a -> (
+              match overlapping state a size with
+              | None -> Some a
+              | Some stop -> in_gaps stop)
+        in
+        let rec at_tail a =
+          match overlapping state a size with
+          | None -> a
+          | Some stop -> at_tail stop
+        in
+        (match in_gaps 0 with
+        | Some a -> a
+        | None -> at_tail (Free_index.frontier free))
+  in
+  let on_free _ctx (o : Heap.obj) =
+    let class_ = Word.log2_ceil (max 1 o.size) in
+    match state.arenas.(class_) with
+    | Some a
+      when o.addr >= a.base
+           && o.addr < a.base + arena_words a
+           && (o.addr - a.base) mod slot_size class_ = 0 ->
+        let slot = (o.addr - a.base) / slot_size class_ in
+        if Bytes.get a.slots slot = '\001' then begin
+          Bytes.set a.slots slot '\000';
+          a.used <- a.used - 1;
+          (* Drop empty buckets: the class restarts at init capacity,
+             the resizing-down half of the scheme. *)
+          if a.used = 0 then state.arenas.(class_) <- None
+        end
+    | _ -> () (* overflow object; nothing to track *)
+  in
+  Manager.make ~name:"cost-oblivious"
+    ~description:
+      "c-partial; cost-oblivious resizing buckets: doubling size-class \
+       arenas, migrations paid by allocation volume"
+    ~on_free alloc

@@ -1,6 +1,13 @@
 (* Named manager constructors, for the CLI, benches and examples.
    Constructors, not managers: several managers are stateful and must
-   be fresh per execution. *)
+   be fresh per execution.
+
+   The registry is extensible: [register] appends an entry and rejects
+   duplicate keys loudly — silently shadowing an earlier entry would
+   let two sweeps disagree about what a key means. Registration order
+   is the presentation order everywhere (CLI listing, test suites,
+   benches), so it must stay deterministic: the built-ins below
+   register at module initialisation, in the order written. *)
 
 type entry = {
   key : string;
@@ -9,7 +16,17 @@ type entry = {
   construct : unit -> Manager.t;
 }
 
-let entries =
+let registered : entry list ref = ref []
+
+let register e =
+  if List.exists (fun e' -> e'.key = e.key) !registered then
+    Fmt.invalid_arg
+      "Registry.register: duplicate manager key %S (an entry with this key is \
+       already registered)"
+      e.key;
+  registered := !registered @ [ e ]
+
+let builtins =
   [
     {
       key = "first-fit";
@@ -89,14 +106,40 @@ let entries =
       moving = true;
       construct = (fun () -> Sliding.make ());
     };
+    {
+      key = "meshing";
+      summary = "Mesh-style pages merged when bitmaps are disjoint";
+      moving = true;
+      construct = (fun () -> Meshing.make ());
+    };
+    {
+      key = "compact-fit";
+      summary = "Compact-fit size-class pages with move-on-free";
+      moving = true;
+      construct = (fun () -> Compact_fit.make ());
+    };
+    {
+      key = "cost-oblivious";
+      summary = "resizing buckets paid for by allocation volume";
+      moving = true;
+      construct = (fun () -> Cost_oblivious.make ());
+    };
+    {
+      key = "polylog-realloc";
+      summary = "aligned placement with power-of-two-epoch repacks";
+      moving = true;
+      construct = (fun () -> Polylog_realloc.make ());
+    };
   ]
 
-let keys = List.map (fun e -> e.key) entries
-let find key = List.find_opt (fun e -> e.key = key) entries
+let () = List.iter register builtins
+let entries () = !registered
+let keys () = List.map (fun e -> e.key) !registered
+let find key = List.find_opt (fun e -> e.key = key) !registered
 
 let construct_exn key =
   match find key with
   | Some e -> e.construct ()
   | None ->
       Fmt.invalid_arg "unknown manager %S (available: %s)" key
-        (String.concat ", " keys)
+        (String.concat ", " (keys ()))

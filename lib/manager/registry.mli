@@ -9,8 +9,16 @@ type entry = {
   construct : unit -> Manager.t;
 }
 
-val entries : entry list
-val keys : string list
+val register : entry -> unit
+(** Append an entry to the registry. Raises [Invalid_argument] if an
+    entry with the same [key] is already registered — keys are looked
+    up by name from sweeps and the CLI, so shadowing must fail loudly
+    rather than change what a key means mid-run. *)
+
+val entries : unit -> entry list
+(** All registered entries, in registration order (built-ins first). *)
+
+val keys : unit -> string list
 val find : string -> entry option
 
 val construct_exn : string -> Manager.t

@@ -203,7 +203,7 @@ let test_pf_outcomes_agree () =
       if strip_names oi <> strip_names orf then
         Alcotest.failf "PF vs %s: backends disagree:@ %a@ %a" key
           Pc_adversary.Runner.pp_outcome oi Pc_adversary.Runner.pp_outcome orf)
-    Pc_manager.Registry.keys
+    (Pc_manager.Registry.keys ())
 
 let test_robson_outcomes_agree () =
   List.iter
@@ -217,7 +217,7 @@ let test_robson_outcomes_agree () =
       if strip_names oi <> strip_names orf then
         Alcotest.failf "Robson vs %s: backends disagree:@ %a@ %a" key
           Pc_adversary.Runner.pp_outcome oi Pc_adversary.Runner.pp_outcome orf)
-    Pc_manager.Registry.keys
+    (Pc_manager.Registry.keys ())
 
 let () =
   Alcotest.run "backend-diff"

@@ -101,6 +101,78 @@ let test_try_evict_straddler () =
      a + 8 <= 32 || a >= 64);
   Alcotest.(check int) "charged full size" 8 (Heap.moved_total heap)
 
+(* ------------------------------------------------------------------ *)
+(* Window-cost accounting under the page-granular managers: a meshing
+   merge must charge the budget exactly [window_cost] of the source
+   page, and a compact-fit plug exactly [window_cost] of the donor
+   slot. The oracle audits the c-partial rule independently on every
+   event, so a mis-charged move trips it immediately. Objects are
+   3 words in 4-word slots, making live words differ from slot words —
+   a manager charging slot granularity fails these checks. *)
+
+module Oracle = Pc_audit.Oracle
+
+let hand_driven mgr ctx heap =
+  let alloc size =
+    let a = Manager.alloc mgr ctx ~size in
+    (Heap.alloc heap ~addr:a ~size, a)
+  in
+  let free (oid, _) =
+    let o = Heap.get heap oid in
+    Heap.free heap oid;
+    Manager.on_free mgr ctx o
+  in
+  (alloc, free)
+
+let test_meshing_merge_charges_window_cost () =
+  let budget = Budget.create ~c:4.0 in
+  let ctx = Ctx.create ~budget ~live_bound:4096 () in
+  let heap = Ctx.heap ctx in
+  let oracle = Oracle.attach ~level:Oracle.Full ~sample_every:1 ~c:4.0 heap in
+  let mgr = Meshing.make ~page_words:16 () in
+  let alloc, free = hand_driven mgr ctx heap in
+  (* two full pages of 3-word objects in 4-word slots *)
+  let page0 = List.init 4 (fun _ -> alloc 3) in
+  let page1 = List.init 4 (fun _ -> alloc 3) in
+  free (List.nth page0 2);
+  free (List.nth page0 3);
+  free (List.nth page1 0);
+  free (List.nth page1 1);
+  (* the source page [0,16) holds 2 live objects = 6 words, not the
+     8 words of its two occupied slots *)
+  let expected = Evict.window_cost heap ~start:0 ~size:16 in
+  Alcotest.(check int) "source page costs its live words" 6 expected;
+  (* a size-8 request forces a fresh page: meshing releases [0,16) *)
+  let _, a = alloc 8 in
+  Alcotest.(check int) "merge reused the released cell" 0 a;
+  Alcotest.(check int) "budget charged exactly window_cost" expected
+    (Budget.moved budget);
+  Oracle.finish oracle;
+  Heap.check_invariants heap
+
+let test_compact_fit_plug_charges_window_cost () =
+  let budget = Budget.create ~c:4.0 in
+  let ctx = Ctx.create ~budget ~live_bound:4096 () in
+  let heap = Ctx.heap ctx in
+  let oracle = Oracle.attach ~level:Oracle.Full ~sample_every:1 ~c:4.0 heap in
+  let mgr = Compact_fit.make ~page_words:16 () in
+  let alloc, free = hand_driven mgr ctx heap in
+  let oids = Array.init 8 (fun _ -> alloc 3) in
+  (* holes in two different pages break the compact invariant *)
+  free oids.(2);
+  free oids.(4);
+  (* the repair migrant is the donor page's highest slot [28,32) *)
+  let expected = Evict.window_cost heap ~start:28 ~size:4 in
+  Alcotest.(check int) "donor slot costs its live words" 3 expected;
+  let _, a = alloc 3 in
+  Alcotest.(check int) "budget charged exactly window_cost" expected
+    (Budget.moved budget);
+  Alcotest.(check int) "migrant plugged the low hole" 8
+    (Heap.addr heap (fst oids.(7)));
+  Alcotest.(check int) "allocation went to the surviving partial page" 16 a;
+  Oracle.finish oracle;
+  Heap.check_invariants heap
+
 let () =
   Alcotest.run "evict"
     [
@@ -116,5 +188,12 @@ let () =
           Alcotest.test_case "move cap" `Quick test_try_evict_move_cap;
           Alcotest.test_case "straddler moved whole" `Quick
             test_try_evict_straddler;
+        ] );
+      ( "page managers",
+        [
+          Alcotest.test_case "meshing merge cost" `Quick
+            test_meshing_merge_charges_window_cost;
+          Alcotest.test_case "compact-fit plug cost" `Quick
+            test_compact_fit_plug_charges_window_cost;
         ] );
     ]

@@ -19,7 +19,7 @@ let test_all_managers_churn () =
       Alcotest.(check bool)
         (e.key ^ " heap covers live") true
         (o.hs >= o.final_live))
-    Registry.entries
+    (Registry.entries ())
 
 let test_non_moving_never_move () =
   List.iter
@@ -28,7 +28,7 @@ let test_non_moving_never_move () =
         let o = run_churn ~c:2.0 e.key Helpers.alt_churn_seed in
         Alcotest.(check int) (e.key ^ " moved nothing") 0 o.moved
       end)
-    Registry.entries
+    (Registry.entries ())
 
 (* ------------------------------------------------------------------ *)
 (* Placement-policy unit tests on hand-built heaps                    *)
@@ -245,8 +245,149 @@ let test_bp_simple_bound () =
     (float_of_int o.hs <= (c +. 1.0) *. float_of_int m);
   Alcotest.(check bool) "compliant" true o.compliant
 
+(* ------------------------------------------------------------------ *)
+(* The related-literature zoo                                         *)
+
+(* Drive a manager by hand: place through it, then mirror the
+   placement on the heap (what the driver does). *)
+let hand_driven mgr ctx heap =
+  let alloc size =
+    let a = Manager.alloc mgr ctx ~size in
+    (Heap.alloc heap ~addr:a ~size, a)
+  in
+  let free (oid, _) =
+    let o = Heap.get heap oid in
+    Heap.free heap oid;
+    Manager.on_free mgr ctx o
+  in
+  (alloc, free)
+
+let test_meshing_merges_disjoint_pages () =
+  let budget = Budget.create ~c:4.0 in
+  let ctx = Ctx.create ~budget ~live_bound:4096 () in
+  let heap = Ctx.heap ctx in
+  let mgr = Meshing.make ~page_words:16 () in
+  let alloc, free = hand_driven mgr ctx heap in
+  (* two full size-4 pages: [0,16) and [16,32) *)
+  let page0 = List.init 4 (fun _ -> alloc 4) in
+  let page1 = List.init 4 (fun _ -> alloc 4) in
+  Alcotest.(check int) "pages packed" 32 (Heap.high_water heap);
+  (* free slots 2,3 of page0 and 0,1 of page1: disjoint bitmaps *)
+  free (List.nth page0 2);
+  free (List.nth page0 3);
+  free (List.nth page1 0);
+  free (List.nth page1 1);
+  (* a size-8 request needs a fresh page; no free aligned cell exists
+     and the tail would grow the heap — only meshing avoids that *)
+  let a = Manager.alloc mgr ctx ~size:8 in
+  Alcotest.(check int) "released cell reused" 0 a;
+  Alcotest.(check int) "merge charged the source page's live words" 8
+    (Budget.moved budget);
+  Alcotest.(check int) "survivors merged into one full page" 16
+    (Heap.occupied_words_in heap ~start:16 ~stop:32);
+  ignore (Heap.alloc heap ~addr:a ~size:8 : Oid.t);
+  Alcotest.(check int) "no growth" 32 (Heap.high_water heap);
+  Heap.check_invariants heap
+
+let test_compact_fit_plugs_full_page_hole () =
+  let budget = Budget.create ~c:4.0 in
+  let ctx = Ctx.create ~budget ~live_bound:4096 () in
+  let heap = Ctx.heap ctx in
+  let mgr = Compact_fit.make ~page_words:16 () in
+  let alloc, free = hand_driven mgr ctx heap in
+  (* two full size-4 pages: [0,16) and [16,32) *)
+  let oids = Array.init 8 (fun _ -> alloc 4) in
+  (* a hole in a full page leaves the class's single partial page; the
+     next allocation fills exactly that hole *)
+  free oids.(1);
+  let _, a = alloc 4 in
+  Alcotest.(check int) "hole reused directly" 4 a;
+  (* two holes in different pages break the compact invariant: the
+     repair at the next allocation plugs the lower page's hole with
+     the highest slot of the higher partial page *)
+  free oids.(2);
+  free oids.(4);
+  Alcotest.(check int) "nothing moved yet" 0 (Budget.moved budget);
+  let _, a = alloc 4 in
+  Alcotest.(check int) "repair moved one object" 4 (Budget.moved budget);
+  Alcotest.(check int) "migrant plugged the low hole" 8
+    (Heap.addr heap (fst oids.(7)));
+  Alcotest.(check int) "allocation goes to the surviving partial page" 16 a;
+  Heap.check_invariants heap
+
+let test_cost_oblivious_resizes_on_volume () =
+  let budget = Budget.create ~c:2.0 in
+  let ctx = Ctx.create ~budget ~live_bound:4096 () in
+  let heap = Ctx.heap ctx in
+  let mgr = Cost_oblivious.make ~init_slots:2 () in
+  let alloc, _ = hand_driven mgr ctx heap in
+  Alcotest.(check int) "bucket slot 0" 0 (snd (alloc 8));
+  Alcotest.(check int) "bucket slot 1" 8 (snd (alloc 8));
+  (* the bucket is full but the quota (16/2 = 8) cannot pay the
+     16-word migration yet: allocations overflow outside the bucket *)
+  Alcotest.(check int) "overflow" 16 (snd (alloc 8));
+  Alcotest.(check int) "overflow again" 24 (snd (alloc 8));
+  Alcotest.(check int) "nothing moved yet" 0 (Budget.moved budget);
+  (* 32 allocated words recharged the quota to 16: the bucket doubles
+     and the class migrates compactly *)
+  Alcotest.(check int) "doubled bucket" 48 (snd (alloc 8));
+  Alcotest.(check int) "migration paid by allocation volume" 16
+    (Budget.moved budget);
+  Alcotest.(check bool) "old bucket vacated" true
+    (Heap.is_free heap ~addr:0 ~size:16);
+  Heap.check_invariants heap
+
+let test_polylog_epoch_repack () =
+  let budget = Budget.create ~c:2.0 in
+  let ctx = Ctx.create ~budget ~live_bound:64 () in
+  let heap = Ctx.heap ctx in
+  let mgr = Polylog_realloc.make () in
+  let alloc, free = hand_driven mgr ctx heap in
+  (* aligned placement up to the first epoch (M = 64 allocated words) *)
+  let o1 = alloc 8 and o2 = alloc 8 and o3 = alloc 8 and o4 = alloc 8 in
+  Alcotest.(check (list int)) "aligned placement" [ 0; 8; 16; 24 ]
+    [ snd o1; snd o2; snd o3; snd o4 ];
+  free o1;
+  free o3;
+  let o5 = alloc 16 and o6 = alloc 16 in
+  Alcotest.(check (list int)) "holes unusable before repack" [ 32; 48 ]
+    [ snd o5; snd o6 ];
+  Alcotest.(check int) "no repack yet" 0 (Budget.moved budget);
+  (* allocated = 64 = M: the next request triggers the epoch repack,
+     sliding objects to their lowest aligned fit until the quota
+     (64/2 = 32) runs dry — a partial compaction *)
+  let _, a = alloc 8 in
+  Alcotest.(check int) "repack stopped at the quota" 32 (Budget.moved budget);
+  Alcotest.(check int) "first survivor slid down" 0
+    (Heap.addr heap (fst o2));
+  Alcotest.(check int) "last survivor out of budget, unmoved" 48
+    (Heap.addr heap (fst o6));
+  Alcotest.(check int) "placement into the repacked gap" 32 a;
+  Heap.check_invariants heap
+
+let test_register_rejects_duplicates () =
+  let before = Registry.keys () in
+  (try
+     Registry.register
+       {
+         key = "first-fit";
+         summary = "shadowing duplicate";
+         moving = false;
+         construct = (fun () -> First_fit.manager);
+       };
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument msg ->
+     let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "error names the duplicate key" true
+       (contains msg "first-fit"));
+  Alcotest.(check (list string)) "registry unchanged" before (Registry.keys ())
+
 let test_registry () =
-  Alcotest.(check int) "thirteen managers" 13 (List.length Registry.entries);
+  Alcotest.(check int) "seventeen managers" 17 (List.length (Registry.entries ()));
   Alcotest.(check bool) "find known" true (Registry.find "buddy" <> None);
   Alcotest.(check bool) "find unknown" true (Registry.find "nope" = None);
   (try
@@ -263,7 +404,7 @@ let prop_churn_all =
         (fun (e : Registry.entry) ->
           let o = run_churn ~c:6.0 e.key seed in
           o.compliant && o.hs >= o.final_live)
-        Registry.entries)
+        (Registry.entries ()))
 
 let () =
   Alcotest.run "managers"
@@ -292,7 +433,17 @@ let () =
             test_semispace_overflow_when_budget_dry;
           Alcotest.test_case "sliding compaction" `Quick
             test_sliding_periodic_compaction;
+          Alcotest.test_case "meshing merge" `Quick
+            test_meshing_merges_disjoint_pages;
+          Alcotest.test_case "compact-fit plug" `Quick
+            test_compact_fit_plugs_full_page_hole;
+          Alcotest.test_case "cost-oblivious resize" `Quick
+            test_cost_oblivious_resizes_on_volume;
+          Alcotest.test_case "polylog epoch repack" `Quick
+            test_polylog_epoch_repack;
           Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "duplicate registration" `Quick
+            test_register_rejects_duplicates;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_churn_all ]);
     ]

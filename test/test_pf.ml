@@ -157,7 +157,7 @@ let test_runs_against_every_manager () =
       let _, program = Pf.program ~m:(1 lsl 12) ~n:(1 lsl 6) ~c:8.0 () in
       let o = Runner.run ~c:8.0 ~program ~manager:(e.construct ()) () in
       Alcotest.(check bool) (e.key ^ " compliant") true o.compliant)
-    Pc_manager.Registry.entries
+    (Pc_manager.Registry.entries ())
 
 let () =
   Alcotest.run "pf"

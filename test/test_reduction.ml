@@ -70,7 +70,7 @@ let prop_lockstep_all_managers =
   QCheck.Test.make ~name:"Claim 4.8 lockstep for all managers" ~count:8
     QCheck.(pair (int_range 1 3) (int_range 0 20))
     (fun (ell, salt) ->
-      let keys = Pc_manager.Registry.keys in
+      let keys = Pc_manager.Registry.keys () in
       let key = List.nth keys (salt mod List.length keys) in
       let real, imaginary = lockstep ~c:3.0 key ~m:(1 lsl 9) ~ell in
       match Reduction.check real imaginary with Ok () -> true | Error _ -> false)

@@ -67,7 +67,7 @@ let test_all_non_moving_at_least_bound () =
           (e.key ^ " >= Robson bound") true
           (float_of_int o.hs >= bound -. 1e-9)
       end)
-    Pc_manager.Registry.entries
+    (Pc_manager.Registry.entries ())
 
 let test_unlimited_compaction_defeats_pr () =
   (* With unlimited compaction the heap stays near M: the adversary
