@@ -50,6 +50,18 @@ module Exec = struct
   module Checkpoint = Pc_exec.Checkpoint
   module Faults = Pc_exec.Faults
   module Engine = Pc_exec.Engine
+  module Lockfile = Pc_exec.Lockfile
+end
+
+(* The sweep daemon: wire framing + protocol, per-tenant state store,
+   a self-restarting supervised worker pool, and the client half *)
+module Serve = struct
+  module Wire = Pc_serve.Wire
+  module Protocol = Pc_serve.Protocol
+  module Store = Pc_serve.Store
+  module Supervisor = Pc_serve.Supervisor
+  module Server = Pc_serve.Server
+  module Client = Pc_serve.Client
 end
 
 (* Process-wide instruments: counters, gauges, log2 histograms and

@@ -62,6 +62,20 @@ module Exec : sig
   module Checkpoint = Pc_exec.Checkpoint
   module Faults = Pc_exec.Faults
   module Engine = Pc_exec.Engine
+  module Lockfile = Pc_exec.Lockfile
+end
+
+(** The sweep daemon ([pc serve]) and its client half: length-prefixed
+    wire framing, the versioned JSON protocol, the per-tenant state
+    store, a self-restarting supervised worker pool, and the
+    submit/wait/results client with backoff. *)
+module Serve : sig
+  module Wire = Pc_serve.Wire
+  module Protocol = Pc_serve.Protocol
+  module Store = Pc_serve.Store
+  module Supervisor = Pc_serve.Supervisor
+  module Server = Pc_serve.Server
+  module Client = Pc_serve.Client
 end
 
 (** Low-overhead process-wide instruments — monotonic counters, gauges,

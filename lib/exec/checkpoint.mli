@@ -10,9 +10,14 @@
 
     The journal file is named by a digest over the {e ordered} spec
     list — a different sweep opens a different journal. Lines are
-    single [write]s fsynced before {!record} returns; the loader drops
-    a truncated final line (writer killed mid-append) and ignores
-    digest-colliding entries whose canonical key does not match. *)
+    single [write]s fsynced before {!record} returns. Replay is
+    WAL-style: records are trusted up to the first one that fails to
+    parse, and the damaged tail — typically one line torn by a writer
+    killed mid-append — is truncated away (with a warning and a
+    [checkpoint.torn_tail] telemetry tick) so the repaired journal
+    holds exactly its valid records and later appends never land on
+    half a record. Digest-colliding entries whose canonical key does
+    not match are ignored. *)
 
 type t
 
@@ -33,6 +38,11 @@ val open_ : ?resume:bool -> dir:string -> Spec.t list -> t
 
 val loaded : t -> int
 (** Number of outcomes reloaded at [open_ ~resume:true] time. *)
+
+val repaired : t -> int
+(** Torn-tail bytes truncated away at [open_ ~resume:true] time; [0]
+    for a clean journal (or a non-resume open, which truncates the
+    whole file anyway). *)
 
 val path_of : t -> string
 

@@ -1,0 +1,22 @@
+(** Length-prefixed framing: 4-byte big-endian length + payload.
+
+    The framing layer faces arbitrary peers, so it is strict: frames
+    above {!max_frame} are refused before any payload is read, and EOF
+    mid-frame ({!Closed} from {!recv} after the header) is an error
+    while EOF at a frame boundary is a clean close ([None]). *)
+
+val max_frame : int
+(** 4 MiB — far above any legitimate request, far below a
+    garbage-length allocation. *)
+
+exception Closed
+(** Peer closed the connection mid-frame. *)
+
+exception Oversized of int
+(** Announced length exceeds {!max_frame} — garbage or a different
+    protocol. A printer is registered. *)
+
+val recv : Unix.file_descr -> string option
+(** Next frame's payload; [None] on clean EOF at a frame boundary. *)
+
+val send : Unix.file_descr -> string -> unit

@@ -197,20 +197,38 @@ let test_journal_tolerates_truncated_tail () =
     (fun s -> Checkpoint.record cp s (Error "placeholder"))
     [ List.nth specs 0; List.nth specs 1 ];
   Checkpoint.close cp;
+  let jpath = Checkpoint.path ~dir specs in
+  let clean_size = (Unix.stat jpath).Unix.st_size in
   (* Simulate a writer killed mid-append. *)
-  let oc =
-    open_out_gen [ Open_append; Open_binary ] 0o644 (Checkpoint.path ~dir specs)
-  in
-  output_string oc "{\"digest\":\"deadbeef\",\"key\":\"trunc";
+  let torn = "{\"digest\":\"deadbeef\",\"key\":\"trunc" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 jpath in
+  output_string oc torn;
   close_out oc;
   let cp = Checkpoint.open_ ~resume:true ~dir specs in
   Alcotest.(check int) "intact lines survive" 2 (Checkpoint.loaded cp);
+  Alcotest.(check int)
+    "every torn byte counted repaired" (String.length torn)
+    (Checkpoint.repaired cp);
+  Alcotest.(check int)
+    "file physically truncated back to the valid prefix" clean_size
+    (Unix.stat jpath).Unix.st_size;
   Alcotest.(check bool)
     "journaled error replays" true
     (Checkpoint.find cp (List.nth specs 0) = Some (Error "placeholder"));
   Alcotest.(check bool)
     "unjournaled spec misses" true
     (Checkpoint.find cp (List.nth specs 2) = None);
+  (* WAL invariant: appends after a repair land on a record boundary,
+     so the next resume is clean — nothing repaired, everything
+     visible. *)
+  Checkpoint.record cp (List.nth specs 2) (Error "after-repair");
+  Checkpoint.close cp;
+  let cp = Checkpoint.open_ ~resume:true ~dir specs in
+  Alcotest.(check int) "post-repair append replays" 3 (Checkpoint.loaded cp);
+  Alcotest.(check int) "clean journal needs no repair" 0 (Checkpoint.repaired cp);
+  Alcotest.(check bool)
+    "post-repair record intact" true
+    (Checkpoint.find cp (List.nth specs 2) = Some (Error "after-repair"));
   Checkpoint.close cp
 
 let test_sweep_digest_sensitivity () =
